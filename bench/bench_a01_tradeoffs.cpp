@@ -1,0 +1,150 @@
+// A1 — ablations of the design choices DESIGN.md §5 calls out (beyond those
+// already isolated by E7/E8/E12):
+//   (a) output-filter bandwidth: the paper picks 0.1 Hz "to improve the
+//       sensitivity" — we sweep the cutoff and show the resolution/response
+//       trade that makes 0.1 Hz the right choice for a water meter;
+//   (b) overtemperature setpoint: sensitivity (dU/dv) grows with ΔT, but so
+//       does the fouling margin consumed — the quantified version of the
+//       paper's "reduced overtemperature" decision;
+//   (c) PI integral gain: loop noise vs tracking speed.
+#include <cmath>
+
+#include "common.hpp"
+#include "core/cta.hpp"
+#include "core/drive_modes.hpp"
+#include "phys/saturation.hpp"
+#include "util/stats.hpp"
+
+using namespace aqua;
+
+namespace {
+
+maf::Environment water(double v) {
+  maf::Environment env;
+  env.speed = util::metres_per_second(v);
+  env.fluid_temperature = util::celsius(15.0);
+  env.pressure = util::bar(2.0);
+  return env;
+}
+
+/// Settled-output noise (sigma of filtered voltage, mV) and 63 % step
+/// response (s) for a given output-filter cutoff.
+struct FilterAblation {
+  double noise_mv;
+  double response_s;
+};
+
+FilterAblation run_filter_case(double cutoff_hz, std::uint64_t seed) {
+  cta::CtaConfig cfg;
+  cfg.output_cutoff = util::hertz(cutoff_hz);
+  util::Rng rng{seed};
+  cta::CtaAnemometer anemo{maf::MafSpec{}, cta::fast_isif_config(), cfg, rng};
+
+  // Noise at steady 1 m/s with synthetic turbulence-free input: measure the
+  // loop's own noise through the filter.
+  anemo.run(util::Seconds{5.0 + 3.0 / cutoff_hz}, water(1.0));
+  util::RunningStats noise;
+  const long long ticks = static_cast<long long>(10.0 / anemo.tick_period().value());
+  for (long long i = 0; i < ticks; ++i) {
+    anemo.tick(water(1.0));
+    if (i % 3200 == 0) noise.add(anemo.filtered_voltage());
+  }
+
+  // Step response of the filtered output.
+  const double u0 = anemo.filtered_voltage();
+  util::Rng rng2{seed};
+  cta::CtaAnemometer probe{maf::MafSpec{}, cta::fast_isif_config(), cfg, rng2};
+  probe.run(util::Seconds{5.0 + 3.0 / cutoff_hz}, water(1.0));
+  probe.run(util::Seconds{5.0 + 3.0 / cutoff_hz}, water(1.8));
+  const double u1 = probe.filtered_voltage();
+  const double target = u0 + 0.632 * (u1 - u0);
+  double elapsed = 0.0;
+  const double dt = anemo.tick_period().value();
+  while (anemo.filtered_voltage() < target && elapsed < 60.0) {
+    anemo.tick(water(1.8));
+    elapsed += dt;
+  }
+  return FilterAblation{noise.stddev() * 1e3, elapsed};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("A1", "design-choice ablations (DESIGN.md section 5)",
+                "0.1 Hz output filter, reduced overtemperature and moderate "
+                "PI gains are deliberate trade-offs");
+
+  // --- (a) output filter cutoff ---------------------------------------------
+  util::Table filt{"A1a: output-filter cutoff vs noise and response"};
+  filt.columns({"cutoff [Hz]", "output noise [mV]", "step response 63% [s]"});
+  filt.precision(3);
+  std::uint64_t seed = 8800;
+  for (double fc : {1.0, 0.3, 0.1, 0.03}) {
+    const auto r = run_filter_case(fc, seed++);
+    filt.add_row({fc, r.noise_mv, r.response_s});
+  }
+  bench::print(filt);
+
+  // --- (b) overtemperature setpoint ------------------------------------------
+  util::Table ot{"A1b: overtemperature vs sensitivity and bubble margin (2 bar)"};
+  ot.columns({"dT [K]", "dU/dv @1m/s [mV/(m/s)]", "bubble margin [K]",
+              "heater power @1m/s [mW]"});
+  ot.precision(2);
+  const double onset = phys::bubble_onset_overtemperature(
+                           util::celsius(15.0), util::bar(2.0), 1.0)
+                           .value();
+  for (double dt : {3.0, 5.0, 10.0, 20.0, 30.0}) {
+    maf::MafDie die{maf::MafSpec{}};
+    cta::CtaConfig cfg;
+    cfg.overtemperature = util::kelvin(dt);
+    const auto lo = cta::solve_constant_temperature(die, water(0.9), cfg);
+    const auto hi = cta::solve_constant_temperature(die, water(1.1), cfg);
+    const auto mid = cta::solve_constant_temperature(die, water(1.0), cfg);
+    ot.add_row({dt, (hi.supply_v - lo.supply_v) / 0.2 * 1e3, onset - dt,
+                mid.heater_power_w * 1e3});
+  }
+  bench::print(ot);
+
+  // --- (c) PI integral gain ---------------------------------------------------
+  util::Table pi{"A1c: PI integral gain vs loop noise and tracking"};
+  pi.columns({"ki [1/s]", "bridge-voltage noise [mV]", "track 63% [ms]"});
+  pi.precision(2);
+  for (double ki : {10.0, 30.0, 100.0, 300.0}) {
+    cta::CtaConfig cfg;
+    cfg.pi.ki = ki;
+    util::Rng rng{seed++};
+    cta::CtaAnemometer anemo{maf::MafSpec{}, cta::fast_isif_config(), cfg, rng};
+    anemo.run(util::Seconds{4.0}, water(1.0));
+    util::RunningStats noise;
+    const long long ticks =
+        static_cast<long long>(4.0 / anemo.tick_period().value());
+    for (long long i = 0; i < ticks; ++i) {
+      anemo.tick(water(1.0));
+      if (i % 320 == 0) noise.add(anemo.bridge_voltage());
+    }
+    // Tracking: raw measurand response to a step.
+    const double u0 = anemo.bridge_voltage();
+    util::Rng rng2{seed};
+    cta::CtaAnemometer probe{maf::MafSpec{}, cta::fast_isif_config(), cfg, rng2};
+    probe.run(util::Seconds{4.0}, water(1.0));
+    probe.run(util::Seconds{4.0}, water(1.8));
+    const double u1 = probe.bridge_voltage();
+    double elapsed = 0.0;
+    const double dt = anemo.tick_period().value();
+    while (anemo.bridge_voltage() < u0 + 0.632 * (u1 - u0) && elapsed < 5.0) {
+      anemo.tick(water(1.8));
+      elapsed += dt;
+    }
+    pi.add_row({ki, noise.stddev() * 1e3, elapsed * 1e3});
+  }
+  bench::print(pi);
+
+  std::printf(
+      "\nsummary: lowering the output cutoff buys noise at the cost of "
+      "response (0.1 Hz ≈ the paper's\nsweet spot for a slow water line); "
+      "overtemperature above ~15 K eats the whole bubble margin at\n2 bar "
+      "while 5 K keeps ~%.0f K of headroom; a very stiff PI tracks faster but "
+      "passes more noise.\n",
+      onset - 5.0);
+  return 0;
+}

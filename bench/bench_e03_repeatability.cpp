@@ -1,0 +1,57 @@
+// E3 — §5 repeatability claim: "repeatability roughly ±1% respect to the full
+// scale". The line is driven away from a target setpoint and back, from above
+// and from below, and the settled readings at the target are compared.
+#include <cmath>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+
+using namespace aqua;
+
+int main() {
+  bench::banner("E3", "section 5 repeatability figure",
+                "repeatability roughly ±1% of the 0-250 cm/s full scale");
+
+  cta::VinciRig rig{bench::standard_rig(303)};
+  const cta::KingFit fit = bench::commission_and_calibrate(rig);
+  cta::FlowEstimator estimator{fit, bench::full_scale(),
+                               rig.line().temperature()};
+
+  util::Table table{"E3: repeated approaches to each target"};
+  table.columns({"target [cm/s]", "approaches", "mean [cm/s]",
+                 "spread ± [cm/s]", "spread [%FS]"});
+  table.precision(3);
+
+  double worst_fs = 0.0;
+  for (double target_cm : {50.0, 125.0, 200.0}) {
+    const double target = target_cm / 100.0;
+    util::RunningStats readings;
+    for (int rep = 0; rep < 6; ++rep) {
+      // Alternate approach direction: from ~40 % below and ~40 % above.
+      const double away = rep % 2 == 0 ? target * 0.6 : target * 1.4;
+      sim::Schedule leave{away};
+      leave.hold(util::Seconds{6.0});
+      rig.line().set_speed_schedule(leave);
+      rig.run(util::Seconds{6.0});
+
+      sim::Schedule back{target};
+      back.hold(util::Seconds{60.0});
+      rig.line().set_speed_schedule(back);
+      rig.run(util::Seconds{22.0});  // loop + output filter settle
+      readings.add(util::to_centimetres_per_second(
+          estimator.read(rig.anemometer()).speed));
+    }
+    const double spread_fs = readings.half_span() / 250.0 * 100.0;
+    worst_fs = std::max(worst_fs, spread_fs);
+    table.add_row({target_cm, static_cast<long long>(readings.count()),
+                   readings.mean(), readings.half_span(), spread_fs});
+  }
+  bench::print(table);
+
+  std::printf(
+      "\nsummary: worst repeatability spread ±%.2f %%FS across targets\n"
+      "paper: roughly ±1 %%FS — reproduced when the worst spread is of that "
+      "order.\n",
+      worst_fs);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E7 — Fig. 7 (bubble generation) and the §4 mitigation: "the generation of
+// bubbles by heated wires and their sticking on the sensor surface alter the
+// heat transfer ... invalidating the measurements"; fixed by "a pulsed
+// voltage driving technique ... in conjunction with reduced overtemperature".
+// Matrix of {continuous, pulsed} × overtemperature at 1 bar (worst case for
+// outgassing), reporting bubble coverage and the induced reading error.
+#include <cmath>
+
+#include "common.hpp"
+#include "core/cta.hpp"
+
+using namespace aqua;
+
+namespace {
+
+struct Outcome {
+  double coverage;
+  double reading_error_pct;  // vs the clean reading
+};
+
+Outcome run_case(double overtemp_k, bool pulsed, std::uint64_t seed) {
+  cta::CtaConfig cfg;
+  cfg.overtemperature = util::kelvin(overtemp_k);
+  if (pulsed) {
+    cfg.pulse.enabled = true;
+    cfg.pulse.period = util::Seconds{0.05};
+    cfg.pulse.duty = 0.35;
+  }
+  util::Rng rng{seed};
+  cta::CtaAnemometer anemo{maf::MafSpec{}, cta::fast_isif_config(), cfg, rng};
+
+  maf::Environment env;
+  env.speed = util::metres_per_second(0.3);
+  env.fluid_temperature = util::celsius(15.0);
+  env.pressure = util::bar(1.0);  // low-pressure worst case
+  env.dissolved_gas_saturation = 1.0;
+
+  anemo.run(util::Seconds{3.0}, env);
+  const double u_clean = anemo.bridge_voltage();
+  anemo.run(util::Seconds{60.0}, env);  // a minute of exposure
+  const double u_fouled = anemo.bridge_voltage();
+  return Outcome{anemo.die().fouling_a().bubble_coverage(),
+                 100.0 * (u_fouled - u_clean) / u_clean};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E7", "Fig. 7 (bubbles on the heaters) + section 4 mitigation",
+                "continuous bias grows insulating bubbles and invalidates the "
+                "reading; pulsed drive + reduced overtemperature keep it clean");
+
+  util::Table table{"E7: bubble coverage after 60 s at 0.3 m/s, 1 bar"};
+  table.columns({"drive", "overtemp [K]", "bubble coverage [%]",
+                 "reading shift [%]"});
+  table.precision(2);
+
+  double cont_hot_cov = 0.0, pulsed_hot_cov = 0.0, cool_cov = 0.0;
+  std::uint64_t seed = 700;
+  for (double dt : {5.0, 12.0, 22.0}) {
+    for (bool pulsed : {false, true}) {
+      const Outcome o = run_case(dt, pulsed, seed++);
+      table.add_row({std::string(pulsed ? "pulsed (35% duty)" : "continuous"),
+                     dt, o.coverage * 100.0, o.reading_error_pct});
+      if (dt == 22.0 && !pulsed) cont_hot_cov = o.coverage;
+      if (dt == 22.0 && pulsed) pulsed_hot_cov = o.coverage;
+      if (dt == 5.0 && !pulsed) cool_cov = o.coverage;
+    }
+  }
+  bench::print(table);
+
+  std::printf(
+      "\nsummary: continuous @22K coverage %.0f%%, pulsed @22K %.0f%%, "
+      "reduced overtemp (5K) %.0f%%\n"
+      "paper shape: continuous high-dT drive bubbles over and biases the "
+      "reading;\npulsing reduces it and reduced overtemperature eliminates it "
+      "— reproduced when\ncoverage ordering is continuous-hot > pulsed-hot > "
+      "cool ≈ 0.\n",
+      cont_hot_cov * 100.0, pulsed_hot_cov * 100.0, cool_cov * 100.0);
+  return 0;
+}

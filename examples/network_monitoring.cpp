@@ -1,0 +1,110 @@
+// network_monitoring — the paper's motivating application (§6): a water
+// district instrumented with cheap MAF insertion probes. The example builds a
+// small distribution network, calibrates the model-based leak localiser,
+// injects a night-time leak, and walks through detection → localisation →
+// isolation candidate.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "hydro/network.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace aqua;
+  using hydro::WaterNetwork;
+  using util::metres;
+  using util::millimetres;
+
+  // --- the district: one feed, six junctions, two loops ---------------------
+  WaterNetwork net;
+  const auto reservoir = net.add_reservoir(55.0);
+  std::vector<WaterNetwork::NodeId> j;
+  const char* names[] = {"piazza", "scuola", "mercato",
+                         "chiesa", "mulino", "fontana"};
+  for (int i = 0; i < 6; ++i) j.push_back(net.add_junction(0.0, 0.003));
+
+  std::vector<WaterNetwork::PipeId> sensed_pipes;
+  sensed_pipes.push_back(
+      net.add_pipe(reservoir, j[0], metres(300.0), millimetres(200.0)));
+  sensed_pipes.push_back(net.add_pipe(j[0], j[1], metres(400.0), millimetres(150.0)));
+  sensed_pipes.push_back(net.add_pipe(j[1], j[2], metres(400.0), millimetres(100.0)));
+  sensed_pipes.push_back(net.add_pipe(j[0], j[3], metres(400.0), millimetres(150.0)));
+  sensed_pipes.push_back(net.add_pipe(j[3], j[4], metres(400.0), millimetres(100.0)));
+  sensed_pipes.push_back(net.add_pipe(j[1], j[4], metres(300.0), millimetres(80.0)));
+  sensed_pipes.push_back(net.add_pipe(j[4], j[5], metres(400.0), millimetres(80.0)));
+  sensed_pipes.push_back(net.add_pipe(j[2], j[5], metres(400.0), millimetres(80.0)));
+
+  // Every pipe carries a MAF probe; resolution from the E2 experiment.
+  cta::LeakLocalizer monitor{net, sensed_pipes,
+                             util::centimetres_per_second(0.7)};
+  monitor.calibrate();
+  std::puts("district calibrated: 8 MAF probes, 6 junctions, 1 feed\n");
+
+  util::Table baseline{"healthy night-flow baseline"};
+  baseline.columns({"pipe", "velocity [cm/s]"});
+  baseline.precision(1);
+  for (std::size_t i = 0; i < sensed_pipes.size(); ++i)
+    baseline.add_row({std::string("pipe ") + std::to_string(i),
+                      monitor.baseline()[i] * 100.0});
+  baseline.print(std::cout);
+
+  // --- 03:00: a service line bursts at the "mulino" junction ----------------
+  const std::size_t burst_at = 4;
+  net.set_leak(j[burst_at], 1.2e-3);
+  if (!net.solve()) {
+    std::puts("network solve failed");
+    return 1;
+  }
+  std::printf("\n[03:00] injected leak at '%s': %.2f L/s escaping\n",
+              names[burst_at], net.leak_flow(j[burst_at]) * 1e3);
+
+  // The probes report (with their measurement noise).
+  util::Rng rng{9};
+  std::vector<double> measured;
+  for (auto p : sensed_pipes)
+    measured.push_back(net.pipe_velocity(p).value() +
+                       rng.gaussian(0.0, 0.007));
+
+  if (!monitor.leak_detected(measured)) {
+    std::puts("monitor: no anomaly (leak too small for this sensor set)");
+    return 0;
+  }
+  std::puts("monitor: ANOMALY — pipe velocities inconsistent with baseline");
+
+  const auto ranked = monitor.locate(measured);
+  util::Table hypo{"leak hypotheses (best first)"};
+  hypo.columns({"junction", "estimated loss [L/s]", "residual norm"});
+  hypo.precision(3);
+  for (std::size_t i = 0; i < ranked.size() && i < 3; ++i) {
+    // Junction ids start after the reservoir (node 0).
+    const auto junction_index = ranked[i].node - 1;
+    hypo.add_row({std::string(names[junction_index]),
+                  ranked[i].estimated_flow_m3s * 1e3,
+                  ranked[i].residual_norm});
+  }
+  hypo.print(std::cout);
+
+  const bool correct = ranked.front().node == j[burst_at];
+  std::printf("\n=> crew dispatched to '%s' (%s)\n",
+              names[ranked.front().node - 1],
+              correct ? "correct" : "incorrect");
+  if (!correct) return 1;
+
+  // --- isolate: close the pipes feeding 'mulino' (pipes 4, 5, 6) ------------
+  const double loss_before = net.leak_flow(j[burst_at]) * 1e3;
+  net.set_pipe_open(sensed_pipes[4], false);
+  net.set_pipe_open(sensed_pipes[5], false);
+  net.set_pipe_open(sensed_pipes[6], false);
+  if (!net.solve()) {
+    std::puts("isolation solve failed");
+    return 1;
+  }
+  std::printf(
+      "[03:20] valves closed around '%s': loss %.2f L/s -> %.2f L/s. "
+      "Section isolated.\n",
+      names[burst_at], loss_before, net.leak_flow(j[burst_at]) * 1e3);
+  return 0;
+}

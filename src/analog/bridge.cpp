@@ -1,0 +1,37 @@
+#include "analog/bridge.hpp"
+
+#include <stdexcept>
+
+namespace aqua::analog {
+
+using util::Amperes;
+using util::Ohms;
+using util::Volts;
+using util::Watts;
+
+BridgeSolution solve_bridge(const BridgeArms& arms, Volts supply) {
+  const double rta = arms.r_top_a.value(), rba = arms.r_bot_a.value();
+  const double rtb = arms.r_top_b.value(), rbb = arms.r_bot_b.value();
+  if (rta <= 0.0 || rba <= 0.0 || rtb <= 0.0 || rbb <= 0.0)
+    throw std::invalid_argument("solve_bridge: non-positive arm resistance");
+  const double vs = supply.value();
+  const double ia = vs / (rta + rba);
+  const double ib = vs / (rtb + rbb);
+  const double va = ia * rba;
+  const double vb = ib * rbb;
+  return BridgeSolution{Volts{va},
+                        Volts{vb},
+                        Volts{va - vb},
+                        Amperes{ia},
+                        Amperes{ib},
+                        Watts{ia * ia * rba},
+                        Watts{ib * ib * rbb}};
+}
+
+Ohms balancing_top_resistor(Ohms r_hot, Ohms r_top_b, Ohms r_ref) {
+  if (r_hot.value() <= 0.0 || r_top_b.value() <= 0.0 || r_ref.value() <= 0.0)
+    throw std::invalid_argument("balancing_top_resistor: non-positive resistance");
+  return Ohms{r_hot.value() * r_top_b.value() / r_ref.value()};
+}
+
+}  // namespace aqua::analog

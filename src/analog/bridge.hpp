@@ -1,0 +1,47 @@
+// bridge.hpp — Wheatstone bridge electrical solver. The MAF half-bridges are
+// wired as a classic four-arm bridge (paper Fig. 5): one leg carries a fixed
+// top resistor and the heater Rh, the other a fixed top resistor and the
+// ambient reference Rt. The CTA loop nulls the tap-to-tap voltage by driving
+// the bridge supply.
+//
+//            supply
+//        r_top_a  r_top_b
+//   tap_a +        + tap_b       error = v_tap_a − v_tap_b
+//        r_bot_a  r_bot_b        (Rh in arm A, Rt in arm B)
+//            ground
+#pragma once
+
+#include "util/units.hpp"
+
+namespace aqua::analog {
+
+struct BridgeArms {
+  util::Ohms r_top_a;
+  util::Ohms r_bot_a;  ///< heater Rh
+  util::Ohms r_top_b;
+  util::Ohms r_bot_b;  ///< reference Rt
+};
+
+struct BridgeSolution {
+  util::Volts v_tap_a;
+  util::Volts v_tap_b;
+  util::Volts differential;  ///< v_tap_a − v_tap_b
+  util::Amperes i_arm_a;
+  util::Amperes i_arm_b;
+  util::Watts p_bot_a;  ///< Joule heating in Rh
+  util::Watts p_bot_b;  ///< Joule heating in Rt
+};
+
+/// Solves the (unloaded-tap) bridge for the given supply. Throws on
+/// non-positive arm resistance.
+[[nodiscard]] BridgeSolution solve_bridge(const BridgeArms& arms,
+                                          util::Volts supply);
+
+/// Fixed top resistor for arm A such that the bridge balances when the heater
+/// reaches `r_hot` while arm B reads `r_ref` under top resistor `r_top_b`:
+///   r_top_a = r_hot · r_top_b / r_ref.
+[[nodiscard]] util::Ohms balancing_top_resistor(util::Ohms r_hot,
+                                                util::Ohms r_top_b,
+                                                util::Ohms r_ref);
+
+}  // namespace aqua::analog

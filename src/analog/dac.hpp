@@ -1,0 +1,54 @@
+// dac.hpp — thermometer-coded DAC model. The ISIF "sensor driving stage ... is
+// provided by a set of configurable 12 bit and 10 bit thermometer DACs"
+// (paper §3); the CTA loop actuates the bridge supply through one of them.
+// Thermometer coding makes the transfer inherently monotonic; element
+// mismatch appears as INL, modelled as a seeded random walk over the unit
+// elements. A first-order settling lag models the output buffer.
+#pragma once
+
+#include <vector>
+
+#include "sim/integrator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace aqua::analog {
+
+struct ThermometerDacSpec {
+  int bits = 12;                         ///< 12 or 10 on ISIF
+  util::Volts full_scale = util::volts(8.0);
+  double element_mismatch_sigma = 2e-4;  ///< relative unit-element spread
+  util::Seconds settling_tau = util::Seconds{2e-6};
+};
+
+class ThermometerDac {
+ public:
+  ThermometerDac(const ThermometerDacSpec& spec, util::Rng rng);
+
+  /// Latches a new input code (clamped to [0, 2^bits − 1]).
+  void write_code(int code);
+
+  /// Convenience: latches the code closest to the requested voltage.
+  void write_voltage(util::Volts v);
+
+  /// Advances the output buffer by dt and returns the settled output voltage.
+  util::Volts step(util::Seconds dt);
+
+  [[nodiscard]] int code() const { return code_; }
+  [[nodiscard]] int max_code() const;
+  [[nodiscard]] util::Volts ideal_output(int code) const;
+  /// Static (settled) output for the current code including mismatch.
+  [[nodiscard]] util::Volts static_output() const;
+  /// Integral nonlinearity at a code, in LSB.
+  [[nodiscard]] double inl_lsb(int code) const;
+
+ private:
+  ThermometerDacSpec spec_;
+  std::vector<double> element_weights_;  // unit element values, nominal 1.0
+  std::vector<double> cumulative_;       // prefix sums of weights
+  double total_weight_;
+  int code_ = 0;
+  sim::FirstOrderLag buffer_;
+};
+
+}  // namespace aqua::analog

@@ -1,0 +1,49 @@
+// noise.hpp — noise sources for the analog front-end models. White noise is
+// specified as a density (V/√Hz) and scaled by the simulation bandwidth;
+// flicker (1/f) noise is generated with the Voss-McCartney algorithm and
+// scaled to a corner frequency, the way amplifier datasheets specify it.
+#pragma once
+
+#include <array>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace aqua::analog {
+
+/// Gaussian white noise with a flat spectral density.
+class WhiteNoise {
+ public:
+  /// density in V/√Hz (or any unit/√Hz); the per-sample sigma at sample rate
+  /// fs is density·√(fs/2).
+  WhiteNoise(double density, util::Hertz sample_rate, util::Rng rng);
+
+  double sample();
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+ private:
+  double sigma_;
+  util::Rng rng_;
+};
+
+/// Pink (1/f) noise via Voss-McCartney row updates, normalised so that the
+/// density equals `density_at_corner` at `corner` Hz.
+class FlickerNoise {
+ public:
+  FlickerNoise(double density_at_corner, util::Hertz corner,
+               util::Hertz sample_rate, util::Rng rng);
+
+  double sample();
+
+ private:
+  static constexpr int kRows = 16;
+  std::array<double, kRows> rows_{};
+  unsigned counter_ = 0;
+  double scale_;
+  util::Rng rng_;
+};
+
+/// Johnson–Nyquist thermal noise density of a resistor: √(4·kB·T·R) in V/√Hz.
+[[nodiscard]] double thermal_noise_density(util::Ohms resistance, util::Kelvin t);
+
+}  // namespace aqua::analog

@@ -1,0 +1,29 @@
+// rc_filter.hpp — continuous-time anti-aliasing filter model (the ISIF channel
+// has "low-pass filtering for anti-aliasing purpose" ahead of the ΣΔ ADC).
+// Modelled as one or two cascaded RC poles stepped analytically, so it is
+// exact for piecewise-constant inputs at any dt.
+#pragma once
+
+#include <vector>
+
+#include "sim/integrator.hpp"
+#include "util/units.hpp"
+
+namespace aqua::analog {
+
+class RcLowpass {
+ public:
+  /// `poles` identical first-order sections at cutoff `fc`.
+  RcLowpass(util::Hertz fc, int poles = 1);
+
+  double step(double input, util::Seconds dt);
+  void reset(double value = 0.0);
+  [[nodiscard]] double value() const;
+  [[nodiscard]] util::Hertz cutoff() const { return fc_; }
+
+ private:
+  util::Hertz fc_;
+  std::vector<sim::FirstOrderLag> stages_;
+};
+
+}  // namespace aqua::analog

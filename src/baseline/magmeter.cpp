@@ -1,0 +1,47 @@
+#include "baseline/magmeter.hpp"
+
+#include <cmath>
+
+namespace aqua::baseline {
+
+using util::MetresPerSecond;
+using util::Seconds;
+using util::Volts;
+
+MagMeter::MagMeter(const MagMeterSpec& spec, util::Rng rng)
+    : spec_(spec),
+      record_{"magmeter (Promag-50 class)", spec.resolution_percent_fs,
+              spec.relative_cost, /*moving_parts=*/false, /*intrusive=*/true,
+              spec.response},
+      rng_(rng),
+      damping_(0.0, spec.response) {}
+
+Volts MagMeter::emf(MetresPerSecond v) const {
+  // U = B·D·v (k = 1 for a uniform field model).
+  return Volts{spec_.field_tesla * spec_.bore.value() * v.value()};
+}
+
+MetresPerSecond MagMeter::step(MetresPerSecond true_velocity, Seconds dt) {
+  accumulated_time_ += dt.value();
+  time_since_update_ += dt.value();
+
+  // Electrode offset performs a slow random walk (electrochemistry); the
+  // pulsed-DC excitation chops most of it away — model the residual.
+  electrode_offset_v_ +=
+      rng_.gaussian(0.0, spec_.electrode_drift_uv_per_s * 1e-6 * dt.value());
+
+  const double period = 1.0 / spec_.excitation.value();
+  if (time_since_update_ >= period) {
+    time_since_update_ = 0.0;
+    const double u = emf(true_velocity).value() + electrode_offset_v_;
+    // Datasheet resolution as the per-reading noise floor (% of FS).
+    const double sigma_v =
+        spec_.resolution_percent_fs / 100.0 * spec_.full_scale.value() / 3.0;
+    const double v_raw =
+        u / (spec_.field_tesla * spec_.bore.value()) + rng_.gaussian(0.0, sigma_v);
+    last_output_mps_ = damping_.step(v_raw, Seconds{period});
+  }
+  return MetresPerSecond{last_output_mps_};
+}
+
+}  // namespace aqua::baseline

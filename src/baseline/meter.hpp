@@ -1,0 +1,38 @@
+// meter.hpp — common interface and datasheet record for the flow meters the
+// evaluation compares (paper §5): the MEMS hot-wire prototype, the
+// Endress+Hauser Promag-50-class electromagnetic reference, and a
+// turbine-wheel meter. The MeterSpec record carries the comparison axes the
+// paper argues on: resolution, cost, moving parts, intrusiveness.
+#pragma once
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace aqua::baseline {
+
+/// A meter's datasheet-level comparison record.
+struct MeterSpec {
+  std::string name;
+  double resolution_percent_fs;   ///< ± resolution as % of full scale
+  double relative_cost;           ///< cost index, MEMS prototype = 1
+  bool moving_parts;
+  bool intrusive;                 ///< perturbs the flow / needs line works
+  util::Seconds response_time;    ///< to 90 % of a step
+};
+
+/// Runtime interface: meters sample the line's mean velocity and return their
+/// (imperfect) reading.
+class FlowMeter {
+ public:
+  virtual ~FlowMeter() = default;
+
+  /// Advances the meter by dt with the true mean line velocity and returns
+  /// the instantaneous reading.
+  virtual util::MetresPerSecond step(util::MetresPerSecond true_velocity,
+                                     util::Seconds dt) = 0;
+
+  [[nodiscard]] virtual const MeterSpec& meter_spec() const = 0;
+};
+
+}  // namespace aqua::baseline

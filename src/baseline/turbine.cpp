@@ -1,0 +1,61 @@
+#include "baseline/turbine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aqua::baseline {
+
+using util::MetresPerSecond;
+using util::Seconds;
+
+TurbineMeter::TurbineMeter(const TurbineSpec& spec, util::Rng rng)
+    : spec_(spec),
+      record_{"turbine wheel", spec.resolution_percent_fs, spec.relative_cost,
+              /*moving_parts=*/true, /*intrusive=*/true, util::Seconds{0.2}},
+      rng_(rng) {}
+
+double TurbineMeter::wear_factor() const {
+  return 1.0 + spec_.wear_per_megarev * revolutions_ / 1e6;
+}
+
+MetresPerSecond TurbineMeter::stall_velocity() const {
+  // Breakaway: fluid torque at ω=0 equals static friction.
+  return MetresPerSecond{std::sqrt(
+      spec_.static_friction_nm * wear_factor() /
+      (spec_.fluid_torque_coeff * spec_.blade_gain))};
+}
+
+MetresPerSecond TurbineMeter::step(MetresPerSecond true_velocity, Seconds dt) {
+  const double v = true_velocity.value();
+  const double r = spec_.rotor_radius_m;
+  const double fric = wear_factor();
+
+  const double t_fluid =
+      spec_.fluid_torque_coeff * std::abs(v) * (spec_.blade_gain * v - omega_ * r);
+  const double t_static = spec_.static_friction_nm * fric;
+
+  if (std::abs(omega_) < 1e-3 && std::abs(t_fluid) <= t_static) {
+    omega_ = 0.0;  // stalled: breakaway torque not reached
+  } else {
+    const double t_fric =
+        (omega_ >= 0.0 ? 1.0 : -1.0) * t_static +
+        spec_.viscous_friction * fric * omega_;
+    const double domega = (t_fluid - t_fric) / spec_.rotor_inertia;
+    omega_ += domega * dt.value();
+    // Friction cannot reverse the rotor through zero within a step.
+    if ((omega_ > 0.0) != (spec_.blade_gain * v - 0.0 > 0.0) &&
+        std::abs(spec_.blade_gain * v) < 1e-6)
+      omega_ = 0.0;
+  }
+  revolutions_ += std::abs(omega_) * dt.value() / (2.0 * 3.14159265358979);
+
+  // Pulse-counting readout: quantised to whole pulses per gate interval, plus
+  // a little jitter from blade passing irregularity.
+  const double v_ideal = omega_ * r / spec_.blade_gain;
+  const double pulse_noise = rng_.gaussian(0.0, 0.002 * spec_.full_scale.value());
+  return MetresPerSecond{v_ideal + (omega_ != 0.0 ? pulse_noise : 0.0)};
+}
+
+bool TurbineMeter::stalled() const { return omega_ == 0.0; }
+
+}  // namespace aqua::baseline

@@ -1,0 +1,61 @@
+#include "baseline/venturi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phys/fluid.hpp"
+
+namespace aqua::baseline {
+
+using util::MetresPerSecond;
+using util::Pascals;
+using util::Seconds;
+
+namespace {
+constexpr double kWaterDensity = 999.1;  // 15 °C design density
+}
+
+VenturiMeter::VenturiMeter(const VenturiSpec& spec, util::Rng rng)
+    : spec_(spec),
+      record_{"venturi dP meter", 0.0, spec.relative_cost,
+              /*moving_parts=*/false, /*intrusive=*/true, spec.response},
+      rng_(rng),
+      damping_(0.0, spec.response) {
+  // Datasheet-style resolution: dp noise referred to full-scale velocity.
+  const double dp_fs = differential(spec.full_scale).value();
+  record_.resolution_percent_fs =
+      100.0 * 0.5 * spec.dp_noise_pa / dp_fs;  // dv/v = 0.5·ddp/dp at FS
+}
+
+Pascals VenturiMeter::differential(MetresPerSecond v) const {
+  const double beta2 = spec_.beta * spec_.beta;
+  const double vt = v.value() / beta2;  // throat velocity (continuity)
+  const double c = spec_.discharge_coefficient;
+  return Pascals{0.5 * kWaterDensity * (vt * vt - v.value() * v.value()) /
+                 (c * c)};
+}
+
+Pascals VenturiMeter::permanent_loss(MetresPerSecond v) const {
+  return Pascals{spec_.permanent_loss_fraction *
+                 std::abs(differential(v).value())};
+}
+
+MetresPerSecond VenturiMeter::noise_floor_velocity() const {
+  // differential(v) = noise: v² scaling inverted.
+  const double k = differential(MetresPerSecond{1.0}).value();
+  return MetresPerSecond{std::sqrt(spec_.dp_noise_pa / k)};
+}
+
+MetresPerSecond VenturiMeter::step(MetresPerSecond true_velocity, Seconds dt) {
+  const double sign = true_velocity.value() >= 0.0 ? 1.0 : -1.0;
+  double dp = differential(MetresPerSecond{std::abs(true_velocity.value())})
+                  .value() +
+              rng_.gaussian(0.0, spec_.dp_noise_pa);
+  dp = std::clamp(dp, 0.0, spec_.dp_full_scale.value());
+  // Invert the square law.
+  const double k = differential(MetresPerSecond{1.0}).value();
+  const double v_raw = std::sqrt(dp / k);
+  return MetresPerSecond{sign * damping_.step(v_raw, dt)};
+}
+
+}  // namespace aqua::baseline

@@ -1,0 +1,64 @@
+// venturi.hpp — differential-pressure (Venturi) flowmeter model: the
+// *intrusive* meter class the paper's introduction argues against ("some
+// sensors perform flow detection through a pressure variation in the
+// measuring line obtained with porous sections or different section size in
+// the line (Venturi effect) ... All above mentioned sensors perform an
+// intrusive measurement ... e.g. a pressure loss").
+//
+// Physics: Δp = ρ/2 · v_throat² − ρ/2 · v² with v_throat = v/β²; inverted
+// through the discharge coefficient. The square-root transfer makes low-flow
+// resolution collapse (Δp ∝ v²), and the device permanently dissipates a
+// fraction of the differential — both properties the comparison experiment
+// surfaces.
+#pragma once
+
+#include "baseline/meter.hpp"
+#include "sim/integrator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace aqua::baseline {
+
+struct VenturiSpec {
+  util::Metres bore = util::millimetres(80.0);
+  double beta = 0.6;                    ///< throat/bore diameter ratio
+  double discharge_coefficient = 0.98;  ///< ISO-5167-class venturi
+  /// Differential-pressure transducer: full scale and noise/resolution.
+  /// (Must cover the throat differential at full-scale velocity: ~0.22 bar.)
+  util::Pascals dp_full_scale = util::bar(0.25);
+  double dp_noise_pa = 12.0;            ///< rms sensor + ADC noise
+  util::Seconds response = util::Seconds{0.3};
+  /// Unrecovered fraction of the throat differential (diffuser loss).
+  double permanent_loss_fraction = 0.15;
+  util::MetresPerSecond full_scale = util::metres_per_second(2.5);
+  double relative_cost = 4.0;
+};
+
+class VenturiMeter final : public FlowMeter {
+ public:
+  VenturiMeter(const VenturiSpec& spec, util::Rng rng);
+
+  util::MetresPerSecond step(util::MetresPerSecond true_velocity,
+                             util::Seconds dt) override;
+
+  [[nodiscard]] const MeterSpec& meter_spec() const override { return record_; }
+  [[nodiscard]] const VenturiSpec& spec() const { return spec_; }
+
+  /// Ideal throat differential for a given pipe velocity (Pa).
+  [[nodiscard]] util::Pascals differential(util::MetresPerSecond v) const;
+
+  /// Permanent head loss the meter inflicts on the line at velocity v.
+  [[nodiscard]] util::Pascals permanent_loss(util::MetresPerSecond v) const;
+
+  /// Velocity below which the dp-noise floor exceeds the signal (the
+  /// low-flow blindness of Δp meters).
+  [[nodiscard]] util::MetresPerSecond noise_floor_velocity() const;
+
+ private:
+  VenturiSpec spec_;
+  MeterSpec record_;
+  util::Rng rng_;
+  sim::FirstOrderLag damping_;
+};
+
+}  // namespace aqua::baseline

@@ -1,0 +1,103 @@
+#include "core/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace aqua::cta {
+
+double KingFit::voltage(double v_mps) const {
+  const double u2 = a + b * std::pow(std::max(0.0, v_mps), n);
+  return std::sqrt(std::max(0.0, u2));
+}
+
+double KingFit::velocity(double u_volts) const {
+  const double u2 = u_volts * u_volts;
+  if (u2 <= a || b <= 0.0) return 0.0;
+  return std::pow((u2 - a) / b, 1.0 / n);
+}
+
+double KingFit::sensitivity(double v_mps) const {
+  // U = sqrt(A + B vⁿ) → dU/dv = n·B·v^{n−1} / (2U).
+  const double v = std::max(v_mps, 1e-6);
+  const double u = voltage(v);
+  if (u <= 0.0) return 0.0;
+  return n * b * std::pow(v, n - 1.0) / (2.0 * u);
+}
+
+KingFit fit_kings_law(std::span<const CalPoint> points, double n_lo,
+                      double n_hi) {
+  if (points.size() < 3)
+    throw std::invalid_argument("fit_kings_law: need at least 3 points");
+  std::size_t nonzero = 0;
+  for (const auto& p : points)
+    if (p.speed_mps > 1e-6) ++nonzero;
+  if (nonzero < 2)
+    throw std::invalid_argument("fit_kings_law: need >= 2 non-zero speeds");
+  if (!(n_lo > 0.0 && n_hi > n_lo))
+    throw std::invalid_argument("fit_kings_law: bad exponent bracket");
+
+  // Inner solve: for a fixed n, least squares of U² on [1, vⁿ].
+  const auto solve_ab = [&](double n) {
+    std::vector<double> x;
+    std::vector<double> y;
+    x.reserve(points.size() * 2);
+    y.reserve(points.size());
+    for (const auto& p : points) {
+      x.push_back(1.0);
+      x.push_back(std::pow(std::max(0.0, p.speed_mps), n));
+      y.push_back(p.voltage * p.voltage);
+    }
+    return util::least_squares(x, y, 2);
+  };
+  const auto residual = [&](double n) {
+    const auto ab = solve_ab(n);
+    double acc = 0.0;
+    for (const auto& p : points) {
+      const double fit =
+          ab[0] + ab[1] * std::pow(std::max(0.0, p.speed_mps), n);
+      const double r = p.voltage * p.voltage - fit;
+      acc += r * r;
+    }
+    return acc;
+  };
+
+  const double n_best = util::golden_minimize(residual, n_lo, n_hi, 1e-6);
+  const auto ab = solve_ab(n_best);
+  KingFit fit{ab[0], ab[1], n_best, 0.0};
+  fit.rms_residual =
+      std::sqrt(residual(n_best) / static_cast<double>(points.size()));
+  return fit;
+}
+
+TableCalibration::TableCalibration(std::vector<CalPoint> points) {
+  if (points.size() < 2)
+    throw std::invalid_argument("TableCalibration: need at least 2 points");
+  std::sort(points.begin(), points.end(),
+            [](const CalPoint& a, const CalPoint& b) {
+              return a.voltage < b.voltage;
+            });
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].voltage <= points[i - 1].voltage ||
+        points[i].speed_mps < points[i - 1].speed_mps)
+      throw std::invalid_argument(
+          "TableCalibration: points must be strictly monotone in voltage and "
+          "non-decreasing in speed");
+  }
+  for (const auto& p : points) {
+    voltages_.push_back(p.voltage);
+    speeds_.push_back(p.speed_mps);
+  }
+}
+
+double TableCalibration::velocity(double u_volts) const {
+  return util::interp1(voltages_, speeds_, u_volts);
+}
+
+double TableCalibration::voltage(double v_mps) const {
+  return util::interp1(speeds_, voltages_, v_mps);
+}
+
+}  // namespace aqua::cta

@@ -1,0 +1,61 @@
+// calibration.hpp — King's-law calibration (paper Eq. 2). The CTA loop's
+// bridge voltage obeys  U² = ΔT·(A + B·vⁿ)  with "constants A, B and the
+// exponent n ... empirically determined and ambient specific"; this module
+// fits them from (velocity, voltage) pairs taken against the reference meter
+// and inverts the law at runtime. A monotone piecewise-linear table
+// calibration is provided as the model-free alternative.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace aqua::cta {
+
+/// Fitted King's-law transfer U² = A + B·vⁿ (ΔT folded into A and B, since
+/// the CT loop holds it constant).
+struct KingFit {
+  double a = 0.0;
+  double b = 0.0;
+  double n = 0.5;
+  double rms_residual = 0.0;  ///< rms of (U² − fit) over the fit set, V²
+
+  /// Forward transfer: expected voltage at speed v (>= 0).
+  [[nodiscard]] double voltage(double v_mps) const;
+  /// Inverse transfer: speed for a measured voltage; clamps at 0 for
+  /// voltages below the zero-flow intercept.
+  [[nodiscard]] double velocity(double u_volts) const;
+  /// Sensitivity dU/dv (V per m/s) at speed v — the denominator of the
+  /// resolution estimate (a noise ε on U maps to ε/(dU/dv) on v).
+  [[nodiscard]] double sensitivity(double v_mps) const;
+};
+
+/// One calibration observation.
+struct CalPoint {
+  double speed_mps;   ///< reference-meter speed
+  double voltage;     ///< settled CTA bridge voltage
+};
+
+/// Fits A, B (linear least squares) and n (outer golden-section over
+/// [n_lo, n_hi]) to the points. Requires >= 3 points with at least two
+/// distinct non-zero speeds. Throws std::invalid_argument otherwise.
+[[nodiscard]] KingFit fit_kings_law(std::span<const CalPoint> points,
+                                    double n_lo = 0.30, double n_hi = 0.75);
+
+/// Model-free monotone table calibration: speeds and voltages sorted by
+/// voltage; inversion by linear interpolation (clamped at the ends).
+class TableCalibration {
+ public:
+  explicit TableCalibration(std::vector<CalPoint> points);
+
+  [[nodiscard]] double velocity(double u_volts) const;
+  [[nodiscard]] double voltage(double v_mps) const;
+  [[nodiscard]] std::size_t size() const { return speeds_.size(); }
+
+ private:
+  std::vector<double> speeds_;
+  std::vector<double> voltages_;
+};
+
+}  // namespace aqua::cta

@@ -1,0 +1,100 @@
+#include "core/calibration_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace aqua::cta {
+
+namespace {
+constexpr const char* kMagic = "aqua-cal-v1";
+
+double require_number(const std::map<std::string, std::string>& kv,
+                      const std::string& key) {
+  const auto it = kv.find(key);
+  if (it == kv.end())
+    throw std::runtime_error("load_calibration: missing key '" + key + "'");
+  std::size_t used = 0;
+  const double value = std::stod(it->second, &used);
+  if (used == 0)
+    throw std::runtime_error("load_calibration: bad number for '" + key + "'");
+  return value;
+}
+}  // namespace
+
+void save_calibration(std::ostream& os, const CalibrationRecord& record) {
+  os << kMagic << '\n';
+  os << std::setprecision(17);
+  os << "sensor_id = " << record.sensor_id << '\n';
+  os << "king_a = " << record.fit.a << '\n';
+  os << "king_b = " << record.fit.b << '\n';
+  os << "king_n = " << record.fit.n << '\n';
+  os << "rms_residual = " << record.fit.rms_residual << '\n';
+  os << "full_scale_mps = " << record.full_scale.value() << '\n';
+  os << "cal_temperature_k = " << record.calibration_temperature.value()
+     << '\n';
+}
+
+void save_calibration_file(const std::string& path,
+                           const CalibrationRecord& record) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("save_calibration_file: cannot open " + path);
+  save_calibration(out, record);
+}
+
+CalibrationRecord load_calibration(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic)
+    throw std::runtime_error("load_calibration: bad magic (expected aqua-cal-v1)");
+  std::map<std::string, std::string> kv;
+  std::string sensor_id = "unknown";
+  while (std::getline(is, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = line.substr(0, eq);
+    std::string value = line.substr(eq + 1);
+    const auto trim = [](std::string& s) {
+      const auto b = s.find_first_not_of(" \t");
+      const auto e = s.find_last_not_of(" \t\r");
+      s = (b == std::string::npos) ? "" : s.substr(b, e - b + 1);
+    };
+    trim(key);
+    trim(value);
+    if (key == "sensor_id")
+      sensor_id = value;
+    else
+      kv[key] = value;
+  }
+
+  CalibrationRecord record;
+  record.sensor_id = sensor_id;
+  record.fit.a = require_number(kv, "king_a");
+  record.fit.b = require_number(kv, "king_b");
+  record.fit.n = require_number(kv, "king_n");
+  if (kv.count("rms_residual"))
+    record.fit.rms_residual = require_number(kv, "rms_residual");
+  record.full_scale =
+      util::MetresPerSecond{require_number(kv, "full_scale_mps")};
+  record.calibration_temperature =
+      util::Kelvin{require_number(kv, "cal_temperature_k")};
+
+  if (record.fit.b <= 0.0)
+    throw std::runtime_error("load_calibration: non-physical king_b");
+  if (record.fit.n <= 0.0 || record.fit.n >= 1.0)
+    throw std::runtime_error("load_calibration: king_n outside (0,1)");
+  if (record.full_scale.value() <= 0.0)
+    throw std::runtime_error("load_calibration: non-positive full scale");
+  return record;
+}
+
+CalibrationRecord load_calibration_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("load_calibration_file: cannot open " + path);
+  return load_calibration(in);
+}
+
+}  // namespace aqua::cta

@@ -1,0 +1,35 @@
+// calibration_io.hpp — persistence for calibration data. A field sensor is
+// calibrated once against the station reference (paper §4: ISIF "also
+// provides the monitoring of a commercial magnetic water flow sensor ... for
+// comparing and calibrating") and the coefficients then live in the device's
+// EEPROM; this module is the file-format twin of that EEPROM record: a small
+// key = value text block with a format tag and a sanity-checked loader.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/calibration.hpp"
+#include "util/units.hpp"
+
+namespace aqua::cta {
+
+/// Everything needed to reconstruct an estimator in the field.
+struct CalibrationRecord {
+  KingFit fit;
+  util::MetresPerSecond full_scale = util::metres_per_second(2.5);
+  util::Kelvin calibration_temperature = util::celsius(15.0);
+  std::string sensor_id = "maf-0";
+};
+
+/// Writes the record as `aqua-cal-v1` key = value text.
+void save_calibration(std::ostream& os, const CalibrationRecord& record);
+void save_calibration_file(const std::string& path,
+                           const CalibrationRecord& record);
+
+/// Parses a record; throws std::runtime_error on bad magic, missing keys,
+/// or non-physical values (b <= 0, n outside (0,1), full_scale <= 0).
+[[nodiscard]] CalibrationRecord load_calibration(std::istream& is);
+[[nodiscard]] CalibrationRecord load_calibration_file(const std::string& path);
+
+}  // namespace aqua::cta

@@ -1,0 +1,228 @@
+#include "core/cta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analog/bridge.hpp"
+#include "phys/resistor.hpp"
+
+namespace aqua::cta {
+
+using util::Hertz;
+using util::Kelvin;
+using util::Ohms;
+using util::Seconds;
+using util::Volts;
+
+namespace {
+
+isif::IsifConfig with_dac_full_scale(isif::IsifConfig cfg, Volts fs) {
+  cfg.dac12.full_scale = fs;
+  return cfg;
+}
+
+/// The balancing resistor choice: either from the die's *measured* element
+/// values (factory trim) or from the datasheet nominals (untrimmed build).
+Ohms pick_top_a(const maf::MafDie& die, const CtaConfig& cfg) {
+  const Kelvin t_hot{cfg.commissioning_temperature.value() +
+                     cfg.overtemperature.value()};
+  if (cfg.factory_trim) {
+    return analog::balancing_top_resistor(
+        die.heater_a_resistance_at(t_hot), cfg.top_resistor_b,
+        die.reference_resistance_at(cfg.commissioning_temperature));
+  }
+  const phys::TcrResistor heater_nominal(die.spec().heater);
+  const phys::TcrResistor reference_nominal(die.spec().reference);
+  return analog::balancing_top_resistor(
+      heater_nominal.resistance(t_hot), cfg.top_resistor_b,
+      reference_nominal.resistance(cfg.commissioning_temperature));
+}
+
+}  // namespace
+
+CtaAnemometer::CtaAnemometer(const maf::MafSpec& maf_spec,
+                             const isif::IsifConfig& isif_config,
+                             const CtaConfig& config, util::Rng rng)
+    : config_(config),
+      die_(maf_spec, rng),
+      package_(maf::PackageSpec{}, rng.split()),
+      isif_(with_dac_full_scale(isif_config, config.dac_full_scale),
+            rng.split()),
+      pi_(config.pi, dsp::PidLimits{config.pi_min, config.pi_max},
+          Hertz{isif_config.channel.modulator_clock.value() /
+                isif_config.channel.decimation},
+          config.pi_impl),
+      output_iir_(dsp::design_butterworth_lowpass(
+          2, config.output_cutoff,
+          Hertz{isif_config.channel.modulator_clock.value() /
+                isif_config.channel.decimation / config.output_divisor})),
+      direction_lp_(config.direction_cutoff,
+                    Hertz{isif_config.channel.modulator_clock.value() /
+                          isif_config.channel.decimation}),
+      top_a_(pick_top_a(die_, config)) {
+  if (config.pulse.enabled &&
+      (config.pulse.duty <= 0.0 || config.pulse.duty > 1.0))
+    throw std::invalid_argument("CtaAnemometer: pulse duty outside (0,1]");
+  if (config.output_divisor < 1)
+    throw std::invalid_argument("CtaAnemometer: output divisor must be >= 1");
+
+  u_ = u_held_ = config_.pi_min;
+  pi_.reset(u_);
+  isif_.dac(0).request_code(static_cast<int>(
+      std::lround(u_ * isif_.dac(0).dac().max_code())));
+
+  // Firmware tasks, costed against the LEON budget (paper §3).
+  const isif::CycleCosts costs{};
+  isif_.firmware().add_task("cta_pi", 1, pi_.cycles_per_sample(),
+                            [this] { control_update(); });
+  isif_.firmware().add_task(
+      "direction_lp", 1, costs.sample_overhead + costs.per_biquad_section,
+      [this] {
+        // Ratiometric: bridge B's static (tolerance) imbalance scales with
+        // the supply, so only err_B/U can be nulled once at commissioning.
+        if (phase_on_) {
+          const double supply = std::max(bridge_voltage(), 0.05);
+          dir_filtered_ = direction_lp_.process(pending_dir_code_ / supply -
+                                                direction_offset_);
+        }
+      });
+  isif_.firmware().add_task(
+      "output_iir", config_.output_divisor,
+      costs.sample_overhead + 2 * costs.per_biquad_section, [this] {
+        if (!output_primed_) {
+          output_iir_.prime(u_);
+          output_primed_ = true;
+        }
+        filtered_u_ = output_iir_.process(u_);
+      });
+}
+
+Seconds CtaAnemometer::tick_period() const {
+  return Seconds{1.0 / isif_.config().channel.modulator_clock.value()};
+}
+
+Hertz CtaAnemometer::control_rate() const {
+  return Hertz{isif_.config().channel.modulator_clock.value() /
+               isif_.config().channel.decimation};
+}
+
+void CtaAnemometer::tick(const maf::Environment& env) {
+  const Seconds dt = tick_period();
+  t_ += dt;
+
+  package_.step(dt, env.pressure);
+  const Volts supply = isif_.dac(0).update(dt);
+
+  // Both half-bridge pairs share the supply and the interdigitated reference.
+  const analog::BridgeArms arms_a{top_a_, die_.heater_a_resistance(),
+                                  config_.top_resistor_b,
+                                  die_.reference_resistance()};
+  const analog::BridgeArms arms_b{top_a_, die_.heater_b_resistance(),
+                                  config_.top_resistor_b,
+                                  die_.reference_resistance()};
+  const auto sol_a = analog::solve_bridge(arms_a, supply);
+  const auto sol_b = analog::solve_bridge(arms_b, supply);
+
+  die_.set_heater_powers(sol_a.p_bot_a, sol_b.p_bot_a,
+                         sol_a.p_bot_b + sol_b.p_bot_b);
+  die_.step(dt, env);
+
+  const auto sample_a =
+      isif_.channel(0).tick(sol_a.differential, env.fluid_temperature);
+  const auto sample_b =
+      isif_.channel(1).tick(sol_b.differential, env.fluid_temperature);
+  if (sample_b) pending_dir_code_ = sample_b->value;
+  if (sample_a) {
+    const double max_code = 32767.0;  // 16-bit channel word
+    pending_error_code_ = static_cast<double>(sample_a->code) / max_code;
+    adc_overload_ = sample_a->overload;
+    isif_.firmware().tick();
+  }
+}
+
+void CtaAnemometer::control_update() {
+  ++control_ticks_;
+  if (config_.pulse.enabled) {
+    const double period = config_.pulse.period.value();
+    const double phase = std::fmod(t_.value(), period) / period;
+    phase_on_ = phase < config_.pulse.duty;
+  } else {
+    phase_on_ = true;
+  }
+
+  auto& dac = isif_.dac(0);
+  const int max_code = dac.dac().max_code();
+
+  if (!phase_on_) {
+    if (was_on_) u_held_ = u_;
+    was_on_ = false;
+    dac.request_code(static_cast<int>(
+        std::lround(config_.pulse.keep_alive * max_code)));
+    return;  // PI frozen through the off phase
+  }
+  if (!was_on_) {
+    pi_.reset(u_held_);  // bumpless resume
+    was_on_ = true;
+  }
+  const double error = -pending_error_code_;
+  u_ = pi_.update(error);
+  dac.request_code(static_cast<int>(std::lround(u_ * max_code)));
+}
+
+void CtaAnemometer::run(Seconds duration, const maf::Environment& env) {
+  const long long n =
+      static_cast<long long>(std::ceil(duration.value() / tick_period().value()));
+  for (long long i = 0; i < n; ++i) tick(env);
+}
+
+void CtaAnemometer::commission(const maf::Environment& zero_flow_env,
+                               Seconds settle) {
+  // The heavily-filtered direction signal settles slowly, so the null is
+  // taken in passes: each pass absorbs what the filter has converged to and
+  // the loop stops once the increment is negligible against the dead-band.
+  for (int pass = 0; pass < 5; ++pass) {
+    run(settle, zero_flow_env);
+    const double increment = dir_filtered_;
+    direction_offset_ += increment;
+    direction_lp_.reset(0.0);
+    dir_filtered_ = 0.0;
+    if (std::abs(increment) < 0.25 * config_.direction_deadband) break;
+  }
+}
+
+double CtaAnemometer::bridge_voltage() const {
+  return u_ * config_.dac_full_scale.value();
+}
+
+double CtaAnemometer::filtered_voltage() const {
+  return (output_primed_ ? filtered_u_ : u_) * config_.dac_full_scale.value();
+}
+
+double CtaAnemometer::direction_signal() const { return dir_filtered_; }
+
+int CtaAnemometer::direction() const {
+  if (dir_filtered_ > config_.direction_deadband) return 1;
+  if (dir_filtered_ < -config_.direction_deadband) return -1;
+  return 0;
+}
+
+Kelvin CtaAnemometer::sensed_ambient() const {
+  // The trim station stores Rt measured at the commissioning temperature, so
+  // firmware only relies on the (well-controlled) film TCR, not the ±30 Ω
+  // absolute tolerance. Residual error: reference self-heating (~0.5 K).
+  const double r0 =
+      die_.reference_resistance_at(config_.commissioning_temperature).value();
+  const double r = die_.reference_resistance().value();
+  const double alpha = die_.spec().reference.alpha;
+  return Kelvin{config_.commissioning_temperature.value() +
+                (r - r0) / (alpha * r0)};
+}
+
+CtaStatus CtaAnemometer::status() const {
+  return CtaStatus{die_.membrane_intact(), package_.healthy(), adc_overload_,
+                   isif_.firmware().watchdog_tripped(),
+                   isif_.firmware().average_load()};
+}
+
+}  // namespace aqua::cta

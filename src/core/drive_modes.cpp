@@ -1,0 +1,115 @@
+#include "core/drive_modes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analog/bridge.hpp"
+#include "phys/resistor.hpp"
+#include "util/math.hpp"
+
+namespace aqua::cta {
+
+using util::Amperes;
+using util::Kelvin;
+using util::Volts;
+using util::Watts;
+
+namespace {
+
+/// Relax the die under the bridge drive at a fixed supply, honouring the
+/// electro-thermal coupling (resistance depends on temperature depends on
+/// power depends on resistance).
+double settled_bridge_error(maf::MafDie& die, const maf::Environment& env,
+                            util::Ohms top_a, util::Ohms top_b, double supply) {
+  analog::BridgeSolution sol{};
+  for (int i = 0; i < 12; ++i) {
+    const analog::BridgeArms arms_a{top_a, die.heater_a_resistance(), top_b,
+                                    die.reference_resistance()};
+    const analog::BridgeArms arms_b{top_a, die.heater_b_resistance(), top_b,
+                                    die.reference_resistance()};
+    sol = analog::solve_bridge(arms_a, Volts{supply});
+    const auto sol_b = analog::solve_bridge(arms_b, Volts{supply});
+    die.set_heater_powers(sol.p_bot_a, sol_b.p_bot_a,
+                          sol.p_bot_b + sol_b.p_bot_b);
+    die.settle(env);
+  }
+  return sol.differential.value();
+}
+
+util::Ohms pick_top_a(const maf::MafDie& die, const CtaConfig& cfg) {
+  const Kelvin t_hot{cfg.commissioning_temperature.value() +
+                     cfg.overtemperature.value()};
+  if (cfg.factory_trim) {
+    return analog::balancing_top_resistor(
+        die.heater_a_resistance_at(t_hot), cfg.top_resistor_b,
+        die.reference_resistance_at(cfg.commissioning_temperature));
+  }
+  const phys::TcrResistor heater_nominal(die.spec().heater);
+  const phys::TcrResistor reference_nominal(die.spec().reference);
+  return analog::balancing_top_resistor(
+      heater_nominal.resistance(t_hot), cfg.top_resistor_b,
+      reference_nominal.resistance(cfg.commissioning_temperature));
+}
+
+SteadyPoint summarize(const maf::MafDie& die, const maf::Environment& env,
+                      double supply, double power, double error) {
+  const Kelvin th = die.temperatures().heater_a;
+  return SteadyPoint{supply, power, th,
+                     Kelvin{th.value() - env.fluid_temperature.value()}, error};
+}
+
+}  // namespace
+
+SteadyPoint solve_constant_temperature(maf::MafDie& die,
+                                       const maf::Environment& env,
+                                       const CtaConfig& config,
+                                       Volts max_supply) {
+  const util::Ohms top_a = pick_top_a(die, config);
+  const util::Ohms top_b = config.top_resistor_b;
+
+  // Bridge error is monotone in the supply (more supply → hotter heater →
+  // larger Rh → error rises). Bracket then bisect.
+  const double lo = 0.02;
+  const double hi = max_supply.value();
+  const auto err = [&](double vs) {
+    return settled_bridge_error(die, env, top_a, top_b, vs);
+  };
+  if (err(hi) < 0.0)
+    throw std::runtime_error(
+        "solve_constant_temperature: cannot reach setpoint within supply range");
+  const double vs = util::bisect(err, lo, hi, 1e-7);
+  const double residual = err(vs);
+
+  const analog::BridgeArms arms{top_a, die.heater_a_resistance(), top_b,
+                                die.reference_resistance()};
+  const auto sol = analog::solve_bridge(arms, Volts{vs});
+  return summarize(die, env, vs, sol.p_bot_a.value(), residual);
+}
+
+SteadyPoint solve_constant_current(maf::MafDie& die, const maf::Environment& env,
+                                   Amperes current) {
+  if (current.value() < 0.0)
+    throw std::invalid_argument("solve_constant_current: negative current");
+  double power = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const double r = die.heater_a_resistance().value();
+    power = current.value() * current.value() * r;
+    die.set_heater_powers(Watts{power}, Watts{0.0}, Watts{0.0});
+    die.settle(env);
+  }
+  const double supply = current.value() * die.heater_a_resistance().value();
+  return summarize(die, env, supply, power, 0.0);
+}
+
+SteadyPoint solve_constant_power(maf::MafDie& die, const maf::Environment& env,
+                                 Watts power) {
+  if (power.value() < 0.0)
+    throw std::invalid_argument("solve_constant_power: negative power");
+  die.set_heater_powers(power, Watts{0.0}, Watts{0.0});
+  die.settle(env);
+  const double r = die.heater_a_resistance().value();
+  const double supply = std::sqrt(power.value() * r);
+  return summarize(die, env, supply, power.value(), 0.0);
+}
+
+}  // namespace aqua::cta

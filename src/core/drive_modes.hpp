@@ -1,0 +1,44 @@
+// drive_modes.hpp — quasi-static solvers for the three anemometer operating
+// modes the paper contrasts in §2: constant current and constant power
+// ("simple circuit implementation") versus constant temperature ("more
+// robustness respect to changes of the temperature of the fluid itself").
+// Each solver relaxes the die to steady state under the drive law and returns
+// the measurand that mode would report. The quasi-static CT solver is also
+// the fast path for months-scale fouling experiments (E8), where simulating
+// every modulator clock would be absurd.
+#pragma once
+
+#include "core/cta.hpp"
+#include "maf/die.hpp"
+#include "util/units.hpp"
+
+namespace aqua::cta {
+
+/// Steady operating point of heater A under some drive.
+struct SteadyPoint {
+  double supply_v;        ///< bridge supply (CT) or source value mapped to volts
+  double heater_power_w;
+  util::Kelvin heater_temperature;
+  util::Kelvin overtemperature;  ///< vs fluid
+  double bridge_error_v;  ///< residual bridge imbalance (CT; 0 for CC/CP)
+};
+
+/// Constant-temperature: finds the bridge supply that balances the bridge
+/// (heater held `config.overtemperature` above ambient via Rt) at steady
+/// state. Bisection on the supply; die conductances (incl. fouling) are
+/// honoured. Throws std::runtime_error if no balance exists below max_supply.
+[[nodiscard]] SteadyPoint solve_constant_temperature(
+    maf::MafDie& die, const maf::Environment& env, const CtaConfig& config,
+    util::Volts max_supply = util::volts(14.0));
+
+/// Constant-current: fixed current through heater A (reference unpowered).
+[[nodiscard]] SteadyPoint solve_constant_current(maf::MafDie& die,
+                                                 const maf::Environment& env,
+                                                 util::Amperes current);
+
+/// Constant-power: fixed Joule power in heater A.
+[[nodiscard]] SteadyPoint solve_constant_power(maf::MafDie& die,
+                                               const maf::Environment& env,
+                                               util::Watts power);
+
+}  // namespace aqua::cta

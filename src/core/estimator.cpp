@@ -1,0 +1,90 @@
+#include "core/estimator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "phys/fluid.hpp"
+
+namespace aqua::cta {
+
+using util::Kelvin;
+using util::MetresPerSecond;
+
+FlowEstimator::FlowEstimator(KingFit fit, MetresPerSecond full_scale,
+                             Kelvin calibration_temperature)
+    : fit_(fit),
+      full_scale_(full_scale),
+      calibration_temperature_(calibration_temperature) {
+  if (full_scale.value() <= 0.0)
+    throw std::invalid_argument("FlowEstimator: non-positive full scale");
+  if (fit.b <= 0.0)
+    throw std::invalid_argument("FlowEstimator: degenerate King fit (b <= 0)");
+}
+
+namespace {
+KingFit property_compensate(const KingFit& base, Kelvin cal_temperature,
+                            Kelvin ambient) {
+  const auto cal = phys::water_properties(cal_temperature);
+  const auto now = phys::water_properties(ambient);
+  // From the Kramers expansion (phys::king_coefficients):
+  //   A ∝ k·Pr^0.2,   B ∝ k·Pr^(1/3)·sqrt(rho/mu)
+  const double a_ratio = (now.thermal_conductivity / cal.thermal_conductivity) *
+                         std::pow(now.prandtl() / cal.prandtl(), 0.2);
+  const double b_ratio =
+      (now.thermal_conductivity / cal.thermal_conductivity) *
+      std::cbrt(now.prandtl() / cal.prandtl()) *
+      std::sqrt((now.density / cal.density) /
+                (now.dynamic_viscosity / cal.dynamic_viscosity));
+  KingFit adjusted = base;
+  adjusted.a *= a_ratio;
+  adjusted.b *= b_ratio;
+  return adjusted;
+}
+}  // namespace
+
+KingFit FlowEstimator::compensated_fit(Kelvin ambient) const {
+  return property_compensate(fit_, calibration_temperature_, ambient);
+}
+
+void FlowEstimator::set_reverse_fit(const KingFit& fit) {
+  if (fit.b <= 0.0)
+    throw std::invalid_argument("FlowEstimator: degenerate reverse fit");
+  reverse_fit_ = fit;
+  has_reverse_ = true;
+}
+
+FlowReading FlowEstimator::read(const CtaAnemometer& anemometer) const {
+  const double u = anemometer.filtered_voltage();
+  const int dir = anemometer.direction();
+  const KingFit& base = (dir < 0 && has_reverse_) ? reverse_fit_ : fit_;
+  const double magnitude =
+      property_compensate(base, calibration_temperature_,
+                          anemometer.sensed_ambient())
+          .velocity(u);
+  // Inside the direction dead-band report the magnitude as forward flow; the
+  // dead-band is a few mm/s wide so this matches the paper's behaviour of
+  // always producing a reading.
+  const double sign = dir < 0 ? -1.0 : 1.0;
+  return FlowReading{MetresPerSecond{sign * magnitude}, dir, u};
+}
+
+MetresPerSecond FlowEstimator::speed_for(double voltage) const {
+  return MetresPerSecond{fit_.velocity(voltage)};
+}
+
+MetresPerSecond FlowEstimator::speed_for(double voltage, Kelvin ambient) const {
+  return MetresPerSecond{compensated_fit(ambient).velocity(voltage)};
+}
+
+MetresPerSecond FlowEstimator::resolution_for(double voltage_noise,
+                                              MetresPerSecond at) const {
+  const double s = fit_.sensitivity(at.value());
+  if (s <= 0.0) return full_scale_;  // unresolvable at this point
+  return MetresPerSecond{voltage_noise / s};
+}
+
+double FlowEstimator::percent_of_full_scale(MetresPerSecond v) const {
+  return 100.0 * v.value() / full_scale_.value();
+}
+
+}  // namespace aqua::cta

@@ -1,0 +1,74 @@
+// estimator.hpp — converts the conditioned loop outputs into an engineering
+// flow reading: King's-law inversion of the (0.1 Hz filtered) bridge voltage,
+// sign from the direction channel, and streaming statistics that yield the
+// resolution / repeatability figures the paper quotes (±% of the 0–250 cm/s
+// full scale).
+#pragma once
+
+#include "core/calibration.hpp"
+#include "core/cta.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace aqua::cta {
+
+struct FlowReading {
+  util::MetresPerSecond speed;  ///< signed (direction folded in)
+  int direction;                ///< −1 / 0 / +1
+  double bridge_voltage;        ///< filtered U fed to the inversion
+};
+
+class FlowEstimator {
+ public:
+  /// `calibration_temperature` is the water temperature during the King's-law
+  /// sweep; read() uses it to property-compensate the fit when the ambient
+  /// drifts (the paper's A, B "are empirically determined and ambient
+  /// specific" — the firmware rescales them from the Rt ambient reading).
+  FlowEstimator(KingFit fit, util::MetresPerSecond full_scale,
+                util::Kelvin calibration_temperature = util::celsius(15.0));
+
+  /// Reads the anemometer's current filtered output, direction channel and
+  /// sensed ambient (property-compensated).
+  [[nodiscard]] FlowReading read(const CtaAnemometer& anemometer) const;
+
+  /// Converts a raw voltage (no direction information).
+  [[nodiscard]] util::MetresPerSecond speed_for(double voltage) const;
+
+  /// Converts a raw voltage with property compensation for the given ambient
+  /// water temperature.
+  [[nodiscard]] util::MetresPerSecond speed_for(double voltage,
+                                                util::Kelvin ambient) const;
+
+  /// The King fit with A and B rescaled from the calibration temperature to
+  /// the given ambient via the water-property ratios (A ∝ k·Pr^0.2,
+  /// B ∝ k·Pr^(1/3)·√(ρ/µ)).
+  [[nodiscard]] KingFit compensated_fit(util::Kelvin ambient) const;
+
+  /// Installs a separate reverse-flow fit. In reverse flow the controlled
+  /// heater sits in its twin's thermal wake and needs less drive for the same
+  /// speed; a single forward calibration therefore under-reads reverse flow
+  /// by several percent. read() uses this fit when the direction channel says
+  /// reverse.
+  void set_reverse_fit(const KingFit& fit);
+  [[nodiscard]] bool has_reverse_fit() const { return has_reverse_; }
+
+  /// Noise ε on the filtered voltage maps to ε / (dU/dv) of speed: the
+  /// resolution at a given operating speed.
+  [[nodiscard]] util::MetresPerSecond resolution_for(double voltage_noise,
+                                                     util::MetresPerSecond at) const;
+
+  [[nodiscard]] const KingFit& fit() const { return fit_; }
+  [[nodiscard]] util::MetresPerSecond full_scale() const { return full_scale_; }
+
+  /// Expresses a speed as ±% of full scale (the paper's reporting unit).
+  [[nodiscard]] double percent_of_full_scale(util::MetresPerSecond v) const;
+
+ private:
+  KingFit fit_;
+  KingFit reverse_fit_{};
+  bool has_reverse_ = false;
+  util::MetresPerSecond full_scale_;
+  util::Kelvin calibration_temperature_;
+};
+
+}  // namespace aqua::cta

@@ -1,0 +1,66 @@
+#include "core/health.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::cta {
+
+std::string fault_name(FaultCode code) {
+  switch (code) {
+    case FaultCode::kMembraneBroken: return "membrane-broken";
+    case FaultCode::kPackageDegraded: return "package-degraded";
+    case FaultCode::kAdcOverload: return "adc-overload";
+    case FaultCode::kWatchdog: return "watchdog";
+    case FaultCode::kRangeHigh: return "range-high";
+    case FaultCode::kRangeLow: return "range-low";
+    case FaultCode::kRateLimit: return "rate-limit";
+    case FaultCode::kStuckReading: return "stuck-reading";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(const HealthConfig& config) : config_(config) {
+  if (config.range_max.value() <= 0.0 || config.max_rate_mps_per_s <= 0.0 ||
+      config.stuck_count < 2)
+    throw std::invalid_argument("HealthMonitor: bad configuration");
+}
+
+std::vector<FaultCode> HealthMonitor::assess(const CtaAnemometer& anemometer,
+                                             const FlowReading& reading,
+                                             util::Seconds dt) {
+  std::vector<FaultCode> faults;
+  const CtaStatus status = anemometer.status();
+  if (!status.membrane_intact) faults.push_back(FaultCode::kMembraneBroken);
+  if (!status.package_healthy) faults.push_back(FaultCode::kPackageDegraded);
+  if (status.adc_overload) faults.push_back(FaultCode::kAdcOverload);
+  if (status.watchdog_tripped) faults.push_back(FaultCode::kWatchdog);
+
+  const double v = reading.speed.value();
+  if (v > config_.range_max.value()) faults.push_back(FaultCode::kRangeHigh);
+  if (v < -config_.range_max.value()) faults.push_back(FaultCode::kRangeLow);
+
+  if (have_prev_ && dt.value() > 0.0) {
+    const double rate = std::abs(v - prev_speed_) / dt.value();
+    if (rate > config_.max_rate_mps_per_s)
+      faults.push_back(FaultCode::kRateLimit);
+    if (std::abs(v - prev_speed_) < config_.stuck_epsilon_mps) {
+      if (++identical_count_ >= config_.stuck_count)
+        faults.push_back(FaultCode::kStuckReading);
+    } else {
+      identical_count_ = 0;
+    }
+  }
+  prev_speed_ = v;
+  have_prev_ = true;
+  healthy_ = faults.empty();
+  return faults;
+}
+
+void HealthMonitor::reset() {
+  healthy_ = true;
+  have_prev_ = false;
+  prev_speed_ = 0.0;
+  identical_count_ = 0;
+}
+
+}  // namespace aqua::cta

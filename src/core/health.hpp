@@ -1,0 +1,64 @@
+// health.hpp — field-diagnostics layer: turns the loop's raw status flags and
+// the flow readings into actionable fault codes. This is the firmware the
+// paper's network vision (§6) implies: a sensor "widely diffused all over the
+// water distribution channels" must detect its own malfunctions, not only the
+// network's.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cta.hpp"
+#include "core/estimator.hpp"
+#include "util/units.hpp"
+
+namespace aqua::cta {
+
+enum class FaultCode {
+  kMembraneBroken,   ///< overpressure destroyed the die (latched)
+  kPackageDegraded,  ///< corrosion / moisture ingress past limits
+  kAdcOverload,      ///< channel driven outside the modulator's stable range
+  kWatchdog,         ///< firmware overran its real-time budget
+  kRangeHigh,        ///< reading above the plausible line maximum
+  kRangeLow,         ///< reading below the reverse-flow maximum
+  kRateLimit,        ///< reading moved faster than pipe hydraulics allow
+  kStuckReading,     ///< reading frozen while the loop runs (dead channel)
+};
+
+[[nodiscard]] std::string fault_name(FaultCode code);
+
+struct HealthConfig {
+  util::MetresPerSecond range_max = util::metres_per_second(3.0);
+  /// Fastest credible line acceleration (valve slam with water hammer).
+  double max_rate_mps_per_s = 2.0;
+  /// Stuck detection: this many consecutive identical readings trip a fault
+  /// (the live loop's noise floor makes exact repeats practically impossible).
+  int stuck_count = 20;
+  double stuck_epsilon_mps = 1e-6;
+};
+
+/// Stateful monitor; call assess() once per output-filter reading (~10 Hz).
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(const HealthConfig& config = {});
+
+  /// Evaluates all checks against the current loop state and reading.
+  /// `dt` is the time since the previous assessment.
+  [[nodiscard]] std::vector<FaultCode> assess(const CtaAnemometer& anemometer,
+                                              const FlowReading& reading,
+                                              util::Seconds dt);
+
+  /// True if the last assessment found no faults.
+  [[nodiscard]] bool healthy() const { return healthy_; }
+
+  void reset();
+
+ private:
+  HealthConfig config_;
+  bool healthy_ = true;
+  bool have_prev_ = false;
+  double prev_speed_ = 0.0;
+  int identical_count_ = 0;
+};
+
+}  // namespace aqua::cta

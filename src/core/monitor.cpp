@@ -1,0 +1,101 @@
+#include "core/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::cta {
+
+using hydro::WaterNetwork;
+
+LeakLocalizer::LeakLocalizer(WaterNetwork& network,
+                             std::vector<WaterNetwork::PipeId> sensors,
+                             util::MetresPerSecond resolution)
+    : net_(network), sensors_(std::move(sensors)), resolution_(resolution) {
+  if (sensors_.empty())
+    throw std::invalid_argument("LeakLocalizer: no sensors");
+}
+
+void LeakLocalizer::calibrate() {
+  if (!net_.solve()) throw std::runtime_error("LeakLocalizer: baseline solve failed");
+  baseline_.clear();
+  for (auto p : sensors_) baseline_.push_back(net_.pipe_velocity(p).value());
+
+  // Candidate set: every junction. For each, superpose a probe leak and
+  // record the sensor-velocity deltas as its signature.
+  candidates_.clear();
+  signatures_.clear();
+  for (WaterNetwork::NodeId n = 0; n < net_.node_count(); ++n) {
+    bool is_junction = true;
+    try {
+      net_.set_leak(n, probe_emitter_);
+    } catch (const std::invalid_argument&) {
+      is_junction = false;  // reservoir
+    }
+    if (!is_junction) continue;
+    if (!net_.solve())
+      throw std::runtime_error("LeakLocalizer: signature solve failed");
+    std::vector<double> sig;
+    sig.reserve(sensors_.size());
+    const double probe_flow = net_.leak_flow(n);
+    for (std::size_t s = 0; s < sensors_.size(); ++s)
+      sig.push_back((net_.pipe_velocity(sensors_[s]).value() - baseline_[s]) /
+                    std::max(probe_flow, 1e-9));
+    net_.set_leak(n, 0.0);
+    candidates_.push_back(n);
+    signatures_.push_back(std::move(sig));
+  }
+  // Restore the healthy solution.
+  if (!net_.solve()) throw std::runtime_error("LeakLocalizer: restore solve failed");
+}
+
+bool LeakLocalizer::leak_detected(std::span<const double> measured) const {
+  if (measured.size() != sensors_.size())
+    throw std::invalid_argument("LeakLocalizer: measurement size mismatch");
+  double norm2 = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const double r = measured[i] - baseline_[i];
+    norm2 += r * r;
+  }
+  const double sigma = resolution_.value();
+  const double threshold2 =
+      9.0 * sigma * sigma * static_cast<double>(sensors_.size());
+  return norm2 > threshold2;
+}
+
+std::vector<LeakHypothesis> LeakLocalizer::locate(
+    std::span<const double> measured) const {
+  if (measured.size() != sensors_.size())
+    throw std::invalid_argument("LeakLocalizer: measurement size mismatch");
+  if (signatures_.empty())
+    throw std::logic_error("LeakLocalizer: calibrate() has not run");
+
+  std::vector<double> residual(measured.size());
+  for (std::size_t i = 0; i < measured.size(); ++i)
+    residual[i] = measured[i] - baseline_[i];
+
+  std::vector<LeakHypothesis> out;
+  out.reserve(candidates_.size());
+  for (std::size_t c = 0; c < candidates_.size(); ++c) {
+    const auto& sig = signatures_[c];
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+      num += sig[i] * residual[i];
+      den += sig[i] * sig[i];
+    }
+    const double magnitude = den > 1e-18 ? std::max(0.0, num / den) : 0.0;
+    double rn = 0.0;
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+      const double r = residual[i] - magnitude * sig[i];
+      rn += r * r;
+    }
+    out.push_back(LeakHypothesis{candidates_[c], magnitude, std::sqrt(rn)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LeakHypothesis& a, const LeakHypothesis& b) {
+              return a.residual_norm < b.residual_norm;
+            });
+  return out;
+}
+
+}  // namespace aqua::cta

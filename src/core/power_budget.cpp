@@ -1,0 +1,44 @@
+#include "core/power_budget.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::cta {
+
+PowerBudgetResult evaluate_power_budget(const PowerBudgetSpec& spec) {
+  if (spec.battery_energy_wh <= 0.0 || spec.usable_fraction <= 0.0 ||
+      spec.usable_fraction > 1.0)
+    throw std::invalid_argument("evaluate_power_budget: bad battery spec");
+  if (spec.measurements_per_hour < 0.0 || spec.active_burst.value() < 0.0)
+    throw std::invalid_argument("evaluate_power_budget: bad usage spec");
+
+  const double burst_s = spec.active_burst.value();
+  const double bursts_per_s = spec.measurements_per_hour / 3600.0;
+  const double duty = std::min(1.0, bursts_per_s * burst_s);
+
+  const double energy_per_meas =
+      spec.active_power_w * burst_s + spec.report_energy_j;
+  const double avg_power = duty < 1.0
+                               ? bursts_per_s * energy_per_meas +
+                                     (1.0 - duty) * spec.sleep_power_w
+                               : spec.active_power_w;
+
+  const double usable_j = spec.battery_energy_wh * 3600.0 * spec.usable_fraction;
+  const double autonomy_days = usable_j / avg_power / 86400.0;
+  return PowerBudgetResult{avg_power, duty, autonomy_days, energy_per_meas};
+}
+
+double measurements_per_hour_for_autonomy(const PowerBudgetSpec& spec,
+                                          double target_days) {
+  if (target_days <= 0.0)
+    throw std::invalid_argument("measurements_per_hour_for_autonomy: bad target");
+  const double usable_j = spec.battery_energy_wh * 3600.0 * spec.usable_fraction;
+  const double power_budget_w = usable_j / (target_days * 86400.0);
+  const double headroom = power_budget_w - spec.sleep_power_w;
+  if (headroom <= 0.0) return 0.0;  // sleep alone exceeds the budget
+  const double energy_per_meas =
+      spec.active_power_w * spec.active_burst.value() + spec.report_energy_j;
+  return headroom / energy_per_meas * 3600.0;
+}
+
+}  // namespace aqua::cta

@@ -1,0 +1,49 @@
+// power_budget.hpp — the "next steps" energy model (paper §7): a dedicated
+// ASIC with "advanced low power techniques with deep sleep mode" supplied by
+// "rechargeable batteries (4 alkaline AA) that guarantees autonomy of one
+// year for a typical sensor usage". This module computes that autonomy from a
+// duty-cycled current budget so the claim can be regenerated (experiment E13)
+// and the duty-cycle / measurement-rate trade explored.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace aqua::cta {
+
+struct PowerBudgetSpec {
+  /// Battery pack: 4 × AA alkaline, ~2.6 Ah each at low drain, in series
+  /// (6 V) — energy is what matters for the converter-fed ASIC.
+  double battery_energy_wh = 4.0 * 2.6 * 1.5;
+  /// Usable fraction after converter efficiency, self-discharge and
+  /// end-of-life voltage margin over a year.
+  double usable_fraction = 0.70;
+
+  /// Active measurement burst: the CTA loop + heater drive.
+  double active_power_w = 0.120;      ///< dominated by the heater (≈ P @ mid-flow)
+  util::Seconds active_burst = util::Seconds{2.0};  ///< loop settle + average
+
+  /// Deep sleep: RTC + watchdog + leakage.
+  double sleep_power_w = 12e-6;
+
+  /// Measurements per hour ("typical sensor usage": a reading every few
+  /// minutes is plenty for distribution monitoring).
+  double measurements_per_hour = 12.0;
+
+  /// Radio/reporting burst per measurement (short LPWAN frame).
+  double report_energy_j = 0.15;
+};
+
+struct PowerBudgetResult {
+  double average_power_w;
+  double duty_cycle;            ///< fraction of time in the active burst
+  double autonomy_days;
+  double energy_per_measurement_j;
+};
+
+[[nodiscard]] PowerBudgetResult evaluate_power_budget(const PowerBudgetSpec& spec);
+
+/// Measurement cadence that exactly consumes the pack in `target_days`.
+[[nodiscard]] double measurements_per_hour_for_autonomy(
+    const PowerBudgetSpec& spec, double target_days);
+
+}  // namespace aqua::cta

@@ -1,0 +1,123 @@
+#include "core/rig.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "hydro/profiles.hpp"
+
+namespace aqua::cta {
+
+using util::MetresPerSecond;
+using util::Seconds;
+
+isif::IsifConfig fast_isif_config() {
+  isif::IsifConfig cfg;
+  cfg.channel.modulator_clock = util::hertz(64e3);
+  cfg.channel.decimation = 32;
+  cfg.channel.anti_alias_cutoff = util::hertz(8e3);
+  return cfg;
+}
+
+VinciRig::VinciRig(const RigConfig& config)
+    : config_(config),
+      line_(config.line, util::Rng{config.seed}.split()),
+      magmeter_(config.magmeter, util::Rng{config.seed ^ 0x5151} ),
+      turbine_(config.turbine, util::Rng{config.seed ^ 0xACAC}) {
+  util::Rng rng{config.seed ^ 0x77};
+  anemometer_ = std::make_unique<CtaAnemometer>(config.maf, config.isif,
+                                                config.cta, rng);
+}
+
+Seconds VinciRig::control_period() const {
+  return Seconds{config_.isif.channel.decimation /
+                 config_.isif.channel.modulator_clock.value()};
+}
+
+void VinciRig::commission(Seconds settle) {
+  maf::Environment env = line_.environment();
+  env.speed = util::metres_per_second(0.0);
+  anemometer_->commission(env, settle);
+}
+
+void VinciRig::run(Seconds duration) {
+  const Seconds tc = control_period();
+  const long long blocks =
+      static_cast<long long>(std::ceil(duration.value() / tc.value()));
+  const int ticks_per_block = config_.isif.channel.decimation;
+  for (long long b = 0; b < blocks; ++b) {
+    line_.step(tc);
+    const maf::Environment env = line_.environment();
+    for (int i = 0; i < ticks_per_block; ++i) anemometer_->tick(env);
+    mag_reading_ = magmeter_.step(line_.mean_velocity(), tc).value();
+    turbine_reading_ = turbine_.step(line_.mean_velocity(), tc).value();
+  }
+}
+
+double VinciRig::profile_factor_at(MetresPerSecond mean) const {
+  const auto props = phys::water_properties(line_.temperature());
+  const double re =
+      hydro::pipe_reynolds(props, mean, config_.line.pipe_diameter);
+  return hydro::profile_factor(re, config_.line.probe_radius_fraction);
+}
+
+double VinciRig::settled_voltage(const maf::Environment& env, Seconds dwell,
+                                 double trailing_fraction) {
+  const Seconds tick = anemometer_->tick_period();
+  const long long n =
+      static_cast<long long>(std::ceil(dwell.value() / tick.value()));
+  const long long tail_start =
+      n - static_cast<long long>(trailing_fraction * static_cast<double>(n));
+  double acc = 0.0;
+  long long count = 0;
+  for (long long i = 0; i < n; ++i) {
+    anemometer_->tick(env);
+    if (i >= tail_start) {
+      acc += anemometer_->bridge_voltage();
+      ++count;
+    }
+  }
+  return count > 0 ? acc / static_cast<double>(count) : 0.0;
+}
+
+KingFit VinciRig::calibrate(std::span<const double> speeds_mps, Seconds dwell) {
+  std::vector<CalPoint> points;
+  points.reserve(speeds_mps.size());
+  for (double mean : speeds_mps) {
+    maf::Environment env = line_.environment();
+    // The probe sees the point velocity; calibrating against the reference
+    // meter (mean velocity) absorbs the profile factor, exactly as in the
+    // field campaign.
+    env.speed =
+        MetresPerSecond{mean * profile_factor_at(MetresPerSecond{mean})};
+    const double u = settled_voltage(env, dwell);
+    points.push_back(CalPoint{mean, u});
+  }
+  return fit_kings_law(points);
+}
+
+VinciRig::BidirectionalFit VinciRig::calibrate_bidirectional(
+    std::span<const double> speeds_mps, Seconds dwell) {
+  std::vector<CalPoint> fwd, rev;
+  fwd.reserve(speeds_mps.size());
+  rev.reserve(speeds_mps.size());
+  for (double mean : speeds_mps) {
+    const double point =
+        mean * profile_factor_at(MetresPerSecond{std::abs(mean)});
+    maf::Environment env = line_.environment();
+    env.speed = MetresPerSecond{point};
+    fwd.push_back(CalPoint{mean, settled_voltage(env, dwell)});
+    env.speed = MetresPerSecond{-point};
+    rev.push_back(CalPoint{mean, settled_voltage(env, dwell)});
+  }
+  return BidirectionalFit{fit_kings_law(fwd), fit_kings_law(rev)};
+}
+
+MetresPerSecond VinciRig::magmeter_reading() const {
+  return MetresPerSecond{mag_reading_};
+}
+
+MetresPerSecond VinciRig::turbine_reading() const {
+  return MetresPerSecond{turbine_reading_};
+}
+
+}  // namespace aqua::cta

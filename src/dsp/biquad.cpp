@@ -1,0 +1,148 @@
+#include "dsp/biquad.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+namespace aqua::dsp {
+
+using util::Hertz;
+
+double Biquad::process(double x) {
+  const double y = c_.b0 * x + s1_;
+  s1_ = c_.b1 * x - c_.a1 * y + s2_;
+  s2_ = c_.b2 * x - c_.a2 * y;
+  return y;
+}
+
+void Biquad::reset() { s1_ = s2_ = 0.0; }
+
+void Biquad::prime(double x) {
+  // Steady state for constant input x: output y* = x·H(1).
+  const double h1 = (c_.b0 + c_.b1 + c_.b2) / (1.0 + c_.a1 + c_.a2);
+  const double y = x * h1;
+  // From the TDF-II recurrences with constant x and y:
+  s2_ = c_.b2 * x - c_.a2 * y;
+  s1_ = c_.b1 * x - c_.a1 * y + s2_;
+}
+
+BiquadCascade::BiquadCascade(std::vector<BiquadCoefficients> sections) {
+  sections_.reserve(sections.size());
+  for (const auto& c : sections) sections_.emplace_back(c);
+}
+
+double BiquadCascade::process(double x) {
+  for (auto& s : sections_) x = s.process(x);
+  return x;
+}
+
+void BiquadCascade::reset() {
+  for (auto& s : sections_) s.reset();
+}
+
+void BiquadCascade::prime(double x) {
+  for (auto& s : sections_) {
+    s.prime(x);
+    const auto& c = s.coefficients();
+    x *= (c.b0 + c.b1 + c.b2) / (1.0 + c.a1 + c.a2);
+  }
+}
+
+double BiquadCascade::magnitude(Hertz f, Hertz fs) const {
+  const double w = 2.0 * 3.14159265358979323846 * f.value() / fs.value();
+  const std::complex<double> z = std::polar(1.0, w);
+  const std::complex<double> zi = 1.0 / z;
+  std::complex<double> h = 1.0;
+  for (const auto& s : sections_) {
+    const auto& c = s.coefficients();
+    h *= (c.b0 + c.b1 * zi + c.b2 * zi * zi) / (1.0 + c.a1 * zi + c.a2 * zi * zi);
+  }
+  return std::abs(h);
+}
+
+namespace {
+
+void check_design(int order, Hertz fc, Hertz fs) {
+  if (order < 1 || order > 12)
+    throw std::invalid_argument("butterworth: order out of range [1,12]");
+  if (fc.value() <= 0.0 || fc.value() >= 0.5 * fs.value())
+    throw std::invalid_argument("butterworth: cutoff must be in (0, fs/2)");
+}
+
+/// Bilinear-transform Butterworth design. Analog prototype poles are paired
+/// into second-order sections; odd orders add one real pole.
+std::vector<BiquadCoefficients> butterworth(int order, Hertz fc, Hertz fs,
+                                            bool highpass) {
+  check_design(order, fc, fs);
+  constexpr double kPi = 3.14159265358979323846;
+  // Pre-warped analog cutoff.
+  const double wc = 2.0 * fs.value() * std::tan(kPi * fc.value() / fs.value());
+  const double t = 1.0 / (2.0 * fs.value());
+
+  std::vector<BiquadCoefficients> out;
+  const int pairs = order / 2;
+  for (int k = 0; k < pairs; ++k) {
+    // Analog SOS: wc² / (s² + 2·cos(theta)·wc·s + wc²), theta from Butterworth
+    // pole angles.
+    const double theta = kPi * (2.0 * k + 1.0) / (2.0 * order);
+    const double q = 1.0 / (2.0 * std::sin(theta));
+    // Bilinear transform of the normalized SOS with quality factor q.
+    const double w = wc * t;  // = tan(pi fc/fs)
+    const double w2 = w * w;
+    const double norm = 1.0 + w / q + w2;
+    BiquadCoefficients c;
+    if (!highpass) {
+      c.b0 = w2 / norm;
+      c.b1 = 2.0 * c.b0;
+      c.b2 = c.b0;
+    } else {
+      c.b0 = 1.0 / norm;
+      c.b1 = -2.0 * c.b0;
+      c.b2 = c.b0;
+    }
+    c.a1 = 2.0 * (w2 - 1.0) / norm;
+    c.a2 = (1.0 - w / q + w2) / norm;
+    out.push_back(c);
+  }
+  if (order % 2 == 1) {
+    // Real pole: wc/(s+wc) -> first-order bilinear section (b2=a2=0).
+    const double w = wc * t;
+    const double norm = 1.0 + w;
+    BiquadCoefficients c;
+    if (!highpass) {
+      c.b0 = w / norm;
+      c.b1 = c.b0;
+    } else {
+      c.b0 = 1.0 / norm;
+      c.b1 = -c.b0;
+    }
+    c.b2 = 0.0;
+    c.a1 = (w - 1.0) / norm;
+    c.a2 = 0.0;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+BiquadCascade design_butterworth_lowpass(int order, Hertz fc, Hertz fs) {
+  return BiquadCascade{butterworth(order, fc, fs, /*highpass=*/false)};
+}
+
+BiquadCascade design_butterworth_highpass(int order, Hertz fc, Hertz fs) {
+  return BiquadCascade{butterworth(order, fc, fs, /*highpass=*/true)};
+}
+
+OnePole::OnePole(Hertz fc, Hertz fs) {
+  if (fc.value() <= 0.0 || fs.value() <= 0.0 || fc.value() >= 0.5 * fs.value())
+    throw std::invalid_argument("OnePole: bad cutoff/sample rate");
+  a_ = 1.0 - std::exp(-2.0 * 3.14159265358979323846 * fc.value() / fs.value());
+}
+
+double OnePole::process(double x) {
+  y_ += a_ * (x - y_);
+  return y_;
+}
+
+}  // namespace aqua::dsp

@@ -1,0 +1,82 @@
+// biquad.hpp — IIR filtering as cascaded transposed-direct-form-II biquad
+// sections, plus Butterworth low-pass/high-pass design. The ISIF digital
+// section exposes IIR IPs; the paper's conditioning chain ends in an IIR
+// low-pass "down to the bandwidth of 0.1 Hz" that sets the output resolution.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace aqua::dsp {
+
+/// One second-order section: b0+b1 z⁻¹+b2 z⁻² / (1+a1 z⁻¹+a2 z⁻²).
+struct BiquadCoefficients {
+  double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;
+};
+
+class Biquad {
+ public:
+  Biquad() = default;
+  explicit Biquad(const BiquadCoefficients& c) : c_(c) {}
+
+  double process(double x);
+  void reset();
+  /// Presets the internal state so a constant input `x` yields the steady
+  /// output immediately (bumpless start for slow output filters).
+  void prime(double x);
+
+  [[nodiscard]] const BiquadCoefficients& coefficients() const { return c_; }
+
+ private:
+  BiquadCoefficients c_;
+  double s1_ = 0.0, s2_ = 0.0;  // transposed DF-II state
+};
+
+/// Cascade of biquads acting as one filter.
+class BiquadCascade {
+ public:
+  BiquadCascade() = default;
+  explicit BiquadCascade(std::vector<BiquadCoefficients> sections);
+
+  double process(double x);
+  void reset();
+  void prime(double x);
+  [[nodiscard]] std::size_t section_count() const { return sections_.size(); }
+
+  /// Magnitude response at frequency f for sample rate fs.
+  [[nodiscard]] double magnitude(util::Hertz f, util::Hertz fs) const;
+
+ private:
+  std::vector<Biquad> sections_;
+};
+
+/// Butterworth low-pass of the given (even or odd) order via bilinear
+/// transform; cutoff must satisfy 0 < fc < fs/2.
+[[nodiscard]] BiquadCascade design_butterworth_lowpass(int order, util::Hertz fc,
+                                                       util::Hertz fs);
+
+/// Butterworth high-pass (same constraints).
+[[nodiscard]] BiquadCascade design_butterworth_highpass(int order, util::Hertz fc,
+                                                        util::Hertz fs);
+
+/// Single-pole IIR low-pass y += a·(x−y) with a = 1−exp(−2π·fc/fs); the cheap
+/// smoother used inside control loops.
+class OnePole {
+ public:
+  OnePole(util::Hertz fc, util::Hertz fs);
+
+  double process(double x);
+  void reset(double y = 0.0) { y_ = y; }
+  [[nodiscard]] double value() const { return y_; }
+
+ private:
+  double a_;
+  double y_ = 0.0;
+};
+
+}  // namespace aqua::dsp

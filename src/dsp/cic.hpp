@@ -1,0 +1,56 @@
+// cic.hpp — cascaded integrator-comb (Hogenauer) decimator. This is the
+// canonical first stage after a 1-bit ΣΔ modulator: N integrators at the
+// modulator rate, decimation by R, N combs at the output rate. The ISIF
+// channel decimates its 16-bit ΣΔ with exactly this structure ("the digital
+// section decimates the ΣΔ ADC output and low-pass filters", paper §4).
+//
+// The accumulators are wrap-around integers, exactly like the silicon: a CIC
+// integrator grows without bound under DC input (mean·fs·t), which in
+// floating point eventually destroys the comb differences through rounding —
+// a bug that only appears after minutes of simulated time. Two's-complement
+// wrap keeps the differences exact as long as the (normalised) output
+// magnitude fits the word, which the constructor checks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace aqua::dsp {
+
+class CicDecimator {
+ public:
+  /// order N (typically modulator order + 1), decimation ratio R, differential
+  /// delay M (1 or 2). The product (R·M)^N must stay below 2^31 so the
+  /// integer datapath (input quantised to Q31) cannot alias.
+  CicDecimator(int order, int decimation, int differential_delay = 1);
+
+  /// Pushes one modulator-rate sample; returns the decimated output when a
+  /// full block of R inputs has been accumulated (normalised by the CIC gain
+  /// (R·M)^N so that a constant input maps to itself).
+  std::optional<double> push(double x);
+
+  void reset();
+
+  [[nodiscard]] int order() const { return order_; }
+  [[nodiscard]] int decimation() const { return decimation_; }
+  /// DC gain before normalisation, (R·M)^N.
+  [[nodiscard]] double raw_gain() const;
+  /// Output sample rate for a given input rate.
+  [[nodiscard]] double output_rate(double input_rate) const {
+    return input_rate / decimation_;
+  }
+
+ private:
+  /// Input quantisation: Q31 over the nominal ±1 range.
+  static constexpr double kInputScale = 2147483648.0;  // 2^31
+
+  int order_;
+  int decimation_;
+  int delay_;
+  int phase_ = 0;
+  std::vector<std::uint64_t> integrators_;              // wrap-around
+  std::vector<std::vector<std::uint64_t>> comb_delays_; // per comb: M-deep
+};
+
+}  // namespace aqua::dsp

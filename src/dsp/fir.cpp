@@ -1,0 +1,85 @@
+#include "dsp/fir.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numeric>
+#include <stdexcept>
+
+namespace aqua::dsp {
+
+using util::Hertz;
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+double window_value(Window w, std::size_t i, std::size_t n) {
+  const double x = static_cast<double>(i) / static_cast<double>(n - 1);
+  switch (w) {
+    case Window::kRectangular: return 1.0;
+    case Window::kHamming: return 0.54 - 0.46 * std::cos(2.0 * kPi * x);
+    case Window::kBlackman:
+      return 0.42 - 0.5 * std::cos(2.0 * kPi * x) + 0.08 * std::cos(4.0 * kPi * x);
+  }
+  return 1.0;
+}
+}  // namespace
+
+std::vector<double> design_fir_lowpass(std::size_t taps, Hertz fc, Hertz fs,
+                                       Window window) {
+  if (taps < 3) throw std::invalid_argument("design_fir_lowpass: need >= 3 taps");
+  if (fc.value() <= 0.0 || fc.value() >= 0.5 * fs.value())
+    throw std::invalid_argument("design_fir_lowpass: cutoff must be in (0, fs/2)");
+  const double ft = fc.value() / fs.value();  // normalised cutoff
+  const double mid = 0.5 * static_cast<double>(taps - 1);
+  std::vector<double> h(taps);
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double m = static_cast<double>(i) - mid;
+    const double sinc =
+        m == 0.0 ? 2.0 * ft : std::sin(2.0 * kPi * ft * m) / (kPi * m);
+    h[i] = sinc * window_value(window, i, taps);
+  }
+  const double sum = std::accumulate(h.begin(), h.end(), 0.0);
+  for (double& v : h) v /= sum;
+  return h;
+}
+
+std::vector<double> design_moving_average(std::size_t taps) {
+  if (taps == 0) throw std::invalid_argument("design_moving_average: 0 taps");
+  return std::vector<double>(taps, 1.0 / static_cast<double>(taps));
+}
+
+FirFilter::FirFilter(std::vector<double> taps)
+    : taps_(std::move(taps)), delay_(taps_.size(), 0.0) {
+  if (taps_.empty()) throw std::invalid_argument("FirFilter: empty taps");
+}
+
+double FirFilter::process(double x) {
+  delay_[head_] = x;
+  double acc = 0.0;
+  std::size_t idx = head_;
+  for (double tap : taps_) {
+    acc += tap * delay_[idx];
+    idx = (idx == 0) ? delay_.size() - 1 : idx - 1;
+  }
+  head_ = (head_ + 1) % delay_.size();
+  return acc;
+}
+
+void FirFilter::reset() {
+  std::fill(delay_.begin(), delay_.end(), 0.0);
+  head_ = 0;
+}
+
+double FirFilter::group_delay() const {
+  return 0.5 * static_cast<double>(taps_.size() - 1);
+}
+
+double FirFilter::magnitude(Hertz f, Hertz fs) const {
+  const double w = 2.0 * kPi * f.value() / fs.value();
+  std::complex<double> h = 0.0;
+  for (std::size_t i = 0; i < taps_.size(); ++i)
+    h += taps_[i] * std::polar(1.0, -w * static_cast<double>(i));
+  return std::abs(h);
+}
+
+}  // namespace aqua::dsp

@@ -1,0 +1,44 @@
+// fir.hpp — FIR filtering and windowed-sinc design, mirroring the ISIF FIR IP.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace aqua::dsp {
+
+enum class Window { kRectangular, kHamming, kBlackman };
+
+/// Windowed-sinc low-pass taps of the given (odd preferred) length; taps are
+/// normalised to unity DC gain.
+[[nodiscard]] std::vector<double> design_fir_lowpass(std::size_t taps,
+                                                     util::Hertz fc,
+                                                     util::Hertz fs,
+                                                     Window window = Window::kHamming);
+
+/// Moving-average taps (boxcar) — the simplest decimation-friendly FIR.
+[[nodiscard]] std::vector<double> design_moving_average(std::size_t taps);
+
+class FirFilter {
+ public:
+  explicit FirFilter(std::vector<double> taps);
+
+  double process(double x);
+  void reset();
+
+  [[nodiscard]] std::span<const double> taps() const { return taps_; }
+  [[nodiscard]] std::size_t length() const { return taps_.size(); }
+  /// Group delay in samples ((N−1)/2 for the symmetric designs used here).
+  [[nodiscard]] double group_delay() const;
+  /// Magnitude response at f given sample rate fs.
+  [[nodiscard]] double magnitude(util::Hertz f, util::Hertz fs) const;
+
+ private:
+  std::vector<double> taps_;
+  std::vector<double> delay_;  // circular buffer
+  std::size_t head_ = 0;
+};
+
+}  // namespace aqua::dsp

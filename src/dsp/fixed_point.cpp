@@ -1,0 +1,32 @@
+#include "dsp/fixed_point.hpp"
+
+#include <cmath>
+
+namespace aqua::dsp {
+
+std::int32_t quantize_code(double value, double full_scale, int bits) {
+  if (full_scale <= 0.0 || bits < 2 || bits > 31)
+    throw std::invalid_argument("quantize_code: bad converter parameters");
+  const std::int32_t max_code = (std::int32_t{1} << (bits - 1)) - 1;
+  const std::int32_t min_code = -(std::int32_t{1} << (bits - 1));
+  const double scaled = value / full_scale * static_cast<double>(max_code);
+  const double rounded = std::nearbyint(scaled);
+  if (rounded >= static_cast<double>(max_code)) return max_code;
+  if (rounded <= static_cast<double>(min_code)) return min_code;
+  return static_cast<std::int32_t>(rounded);
+}
+
+double dequantize_code(std::int32_t code, double full_scale, int bits) {
+  if (full_scale <= 0.0 || bits < 2 || bits > 31)
+    throw std::invalid_argument("dequantize_code: bad converter parameters");
+  const std::int32_t max_code = (std::int32_t{1} << (bits - 1)) - 1;
+  return static_cast<double>(code) / static_cast<double>(max_code) * full_scale;
+}
+
+double lsb_size(double full_scale, int bits) {
+  if (full_scale <= 0.0 || bits < 2 || bits > 31)
+    throw std::invalid_argument("lsb_size: bad converter parameters");
+  return full_scale / static_cast<double>((std::int32_t{1} << (bits - 1)) - 1);
+}
+
+}  // namespace aqua::dsp

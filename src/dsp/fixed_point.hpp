@@ -1,0 +1,84 @@
+// fixed_point.hpp — Q-format fixed-point arithmetic matching what the ISIF
+// hardware IPs compute in silicon. The platform's "exact matching between
+// software and hardware IPs" (paper §3) only holds if both sides quantise the
+// same way, so the software IP layer routes its math through these helpers
+// when configured for bit-accurate mode.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace aqua::dsp {
+
+/// A signed fixed-point value with F fractional bits stored in 32 bits.
+/// Arithmetic saturates instead of wrapping (the hardware IPs saturate).
+template <int F>
+class Fixed {
+  static_assert(F > 0 && F < 31, "fractional bits must be in (0, 31)");
+
+ public:
+  using Raw = std::int32_t;
+  static constexpr double kScale = static_cast<double>(1 << F);
+  static constexpr Raw kMax = std::numeric_limits<Raw>::max();
+  static constexpr Raw kMin = std::numeric_limits<Raw>::min();
+
+  constexpr Fixed() = default;
+
+  static constexpr Fixed from_raw(Raw r) {
+    Fixed f;
+    f.raw_ = r;
+    return f;
+  }
+
+  /// Quantises a double (round-to-nearest, saturating).
+  static Fixed from_double(double v) {
+    const double scaled = v * kScale;
+    if (scaled >= static_cast<double>(kMax)) return from_raw(kMax);
+    if (scaled <= static_cast<double>(kMin)) return from_raw(kMin);
+    return from_raw(static_cast<Raw>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5));
+  }
+
+  [[nodiscard]] constexpr Raw raw() const { return raw_; }
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(raw_) / kScale;
+  }
+
+  friend Fixed operator+(Fixed a, Fixed b) {
+    return from_raw(saturate(static_cast<std::int64_t>(a.raw_) + b.raw_));
+  }
+  friend Fixed operator-(Fixed a, Fixed b) {
+    return from_raw(saturate(static_cast<std::int64_t>(a.raw_) - b.raw_));
+  }
+  friend Fixed operator*(Fixed a, Fixed b) {
+    // Full 64-bit product, then shift back with rounding.
+    const std::int64_t p = static_cast<std::int64_t>(a.raw_) * b.raw_;
+    return from_raw(saturate((p + (std::int64_t{1} << (F - 1))) >> F));
+  }
+  friend constexpr bool operator==(Fixed a, Fixed b) { return a.raw_ == b.raw_; }
+  friend constexpr auto operator<=>(Fixed a, Fixed b) { return a.raw_ <=> b.raw_; }
+
+ private:
+  static constexpr Raw saturate(std::int64_t v) {
+    if (v > kMax) return kMax;
+    if (v < kMin) return kMin;
+    return static_cast<Raw>(v);
+  }
+  Raw raw_ = 0;
+};
+
+/// The Q-formats the ISIF digital section uses.
+using Q15 = Fixed<15>;  ///< coefficients / unit-range signals
+using Q23 = Fixed<23>;  ///< 24-bit accumulator-style signals
+
+/// Quantises a double to a B-bit signed integer covering ±full_scale, the way
+/// the ADC/DAC interfaces do. Returns the integer code.
+[[nodiscard]] std::int32_t quantize_code(double value, double full_scale, int bits);
+
+/// Reconstructs the value represented by a B-bit signed code over ±full_scale.
+[[nodiscard]] double dequantize_code(std::int32_t code, double full_scale, int bits);
+
+/// One LSB of a B-bit signed converter spanning ±full_scale.
+[[nodiscard]] double lsb_size(double full_scale, int bits);
+
+}  // namespace aqua::dsp

@@ -1,0 +1,48 @@
+#include "dsp/goertzel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::dsp {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}
+
+Goertzel::Goertzel(util::Hertz f, util::Hertz fs, std::size_t block_size)
+    : block_(block_size) {
+  if (fs.value() <= 0.0 || f.value() < 0.0 || f.value() >= 0.5 * fs.value())
+    throw std::invalid_argument("Goertzel: frequency must be in [0, fs/2)");
+  if (block_size < 8)
+    throw std::invalid_argument("Goertzel: block size must be >= 8");
+  const double w = kTwoPi * f.value() / fs.value();
+  coeff_ = 2.0 * std::cos(w);
+  phasor_ = std::polar(1.0, w);
+}
+
+bool Goertzel::push(double x) {
+  const double s0 = x + coeff_ * s1_ - s2_;
+  s2_ = s1_;
+  s1_ = s0;
+  if (++count_ < block_) return false;
+  // Finalise: complex bin = s1 − e^{-jw}·s2, rotated by e^{+jw} so the phase
+  // is referenced to the first sample of the block (exact for coherent
+  // blocks, i.e. when f·block/fs is an integer), normalised to amplitude.
+  const std::complex<double> y = s1_ - std::conj(phasor_) * s2_;
+  result_ = y * phasor_ * (2.0 / static_cast<double>(block_));
+  count_ = 0;
+  s1_ = s2_ = 0.0;
+  return true;
+}
+
+double Goertzel::amplitude() const { return std::abs(result_); }
+
+double Goertzel::phase() const { return std::arg(result_); }
+
+void Goertzel::reset() {
+  count_ = 0;
+  s1_ = s2_ = 0.0;
+  result_ = {0.0, 0.0};
+}
+
+}  // namespace aqua::dsp

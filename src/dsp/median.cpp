@@ -1,0 +1,24 @@
+#include "dsp/median.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aqua::dsp {
+
+MedianFilter::MedianFilter(std::size_t window) : window_(window) {
+  if (window < 3 || window % 2 == 0)
+    throw std::invalid_argument("MedianFilter: window must be odd and >= 3");
+}
+
+double MedianFilter::process(double x) {
+  buf_.push_back(x);
+  if (buf_.size() > window_) buf_.pop_front();
+  scratch_.assign(buf_.begin(), buf_.end());
+  const std::size_t mid = scratch_.size() / 2;
+  std::nth_element(scratch_.begin(), scratch_.begin() + mid, scratch_.end());
+  return scratch_[mid];
+}
+
+void MedianFilter::reset() { buf_.clear(); }
+
+}  // namespace aqua::dsp

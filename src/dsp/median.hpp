@@ -1,0 +1,31 @@
+// median.hpp — streaming median despiker. A detaching bubble produces a
+// single-sample glitch on the bridge voltage that a linear filter smears into
+// the reading; a short median kills it outright. Used as an optional stage
+// ahead of the 0.1 Hz output filter.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace aqua::dsp {
+
+class MedianFilter {
+ public:
+  /// Odd window length >= 3.
+  explicit MedianFilter(std::size_t window);
+
+  /// Pushes a sample and returns the median of the last `window` samples
+  /// (of however many arrived, during fill-in).
+  double process(double x);
+
+  void reset();
+  [[nodiscard]] std::size_t window() const { return window_; }
+
+ private:
+  std::size_t window_;
+  std::deque<double> buf_;
+  std::vector<double> scratch_;
+};
+
+}  // namespace aqua::dsp

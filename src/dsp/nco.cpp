@@ -1,0 +1,67 @@
+#include "dsp/nco.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::dsp {
+
+using util::Hertz;
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}
+
+const std::array<double, Nco::kLutSize + 1>& Nco::lut() {
+  static const auto table = [] {
+    std::array<double, kLutSize + 1> t{};
+    for (std::size_t i = 0; i <= kLutSize; ++i)
+      t[i] = std::sin(kTwoPi * static_cast<double>(i) / (4.0 * kLutSize));
+    return t;
+  }();
+  return table;
+}
+
+Nco::Nco(Hertz frequency, Hertz sample_rate, double amplitude)
+    : sample_rate_(sample_rate.value()), amplitude_(amplitude) {
+  if (sample_rate_ <= 0.0) throw std::invalid_argument("Nco: bad sample rate");
+  set_frequency(frequency);
+}
+
+void Nco::set_frequency(Hertz frequency) {
+  if (frequency.value() < 0.0 || frequency.value() >= 0.5 * sample_rate_)
+    throw std::invalid_argument("Nco: frequency must be in [0, fs/2)");
+  increment_ = static_cast<std::uint32_t>(
+      frequency.value() / sample_rate_ * 4294967296.0);
+}
+
+Hertz Nco::frequency() const {
+  return Hertz{static_cast<double>(increment_) / 4294967296.0 * sample_rate_};
+}
+
+double Nco::next() {
+  // Quarter-wave symmetry: top 2 bits select the quadrant, the next kLutBits
+  // address the table, remaining bits drive linear interpolation.
+  const std::uint32_t quadrant = phase_ >> 30;
+  const std::uint32_t in_quadrant = (phase_ << 2) >> 2;  // lower 30 bits
+  const std::uint32_t index = in_quadrant >> (30 - kLutBits);
+  const double frac =
+      static_cast<double>(in_quadrant & ((1u << (30 - kLutBits)) - 1)) /
+      static_cast<double>(1u << (30 - kLutBits));
+
+  const auto& t = lut();
+  auto sample_at = [&](std::uint32_t idx, double f) {
+    const double rising = t[idx] + f * (t[idx + 1] - t[idx]);
+    return rising;
+  };
+  double s;
+  switch (quadrant) {
+    case 0: s = sample_at(index, frac); break;
+    case 1: s = sample_at(kLutSize - 1 - index, 1.0 - frac); break;
+    case 2: s = -sample_at(index, frac); break;
+    default: s = -sample_at(kLutSize - 1 - index, 1.0 - frac); break;
+  }
+  phase_ += increment_;
+  return amplitude_ * s;
+}
+
+}  // namespace aqua::dsp

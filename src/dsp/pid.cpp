@@ -1,0 +1,48 @@
+#include "dsp/pid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aqua::dsp {
+
+PidController::PidController(const PidGains& gains, const PidLimits& limits,
+                             util::Hertz rate)
+    : gains_(gains), limits_(limits), dt_(1.0 / rate.value()) {
+  if (rate.value() <= 0.0)
+    throw std::invalid_argument("PidController: non-positive rate");
+  if (limits.out_min >= limits.out_max)
+    throw std::invalid_argument("PidController: empty output range");
+}
+
+double PidController::update(double error) {
+  const double p = gains_.kp * error;
+  double d = 0.0;
+  if (gains_.kd != 0.0 && have_prev_) d = gains_.kd * (error - prev_error_) / dt_;
+  prev_error_ = error;
+  have_prev_ = true;
+
+  // Tentative integration, then conditional anti-windup: only keep the
+  // increment if it does not push the output further into saturation.
+  const double tentative_integral = integral_ + gains_.ki * error * dt_;
+  double u = p + tentative_integral + d;
+  if (u > limits_.out_max) {
+    u = limits_.out_max;
+    if (gains_.ki * error < 0.0) integral_ = tentative_integral;  // unwinding
+  } else if (u < limits_.out_min) {
+    u = limits_.out_min;
+    if (gains_.ki * error > 0.0) integral_ = tentative_integral;
+  } else {
+    integral_ = tentative_integral;
+  }
+  last_output_ = u;
+  return u;
+}
+
+void PidController::reset(double output) {
+  integral_ = std::clamp(output, limits_.out_min, limits_.out_max);
+  prev_error_ = 0.0;
+  have_prev_ = false;
+  last_output_ = integral_;
+}
+
+}  // namespace aqua::dsp

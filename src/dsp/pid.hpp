@@ -1,0 +1,49 @@
+// pid.hpp — discrete PI/PID controller with clamped output and conditional
+// anti-windup. The paper's constant-temperature loop is "reference
+// subtraction, PI controller and feedback actuation" (§4) running as a
+// software IP; the same class also backs the valve controller on the test rig.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace aqua::dsp {
+
+struct PidGains {
+  double kp = 0.0;
+  double ki = 0.0;  ///< per second (continuous-time gain; discretised by dt)
+  double kd = 0.0;  ///< seconds
+};
+
+struct PidLimits {
+  double out_min = -1e30;
+  double out_max = 1e30;
+};
+
+class PidController {
+ public:
+  PidController(const PidGains& gains, const PidLimits& limits, util::Hertz rate);
+
+  /// One control step: returns the actuation for the given error.
+  double update(double error);
+
+  /// Resets dynamic state; `output` pre-loads the integrator so the loop
+  /// resumes from a known actuation (bumpless restart after pulsed-drive off
+  /// phases).
+  void reset(double output = 0.0);
+
+  [[nodiscard]] double output() const { return last_output_; }
+  [[nodiscard]] double integrator() const { return integral_; }
+  [[nodiscard]] const PidGains& gains() const { return gains_; }
+  void set_gains(const PidGains& gains) { gains_ = gains; }
+
+ private:
+  PidGains gains_;
+  PidLimits limits_;
+  double dt_;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool have_prev_ = false;
+  double last_output_ = 0.0;
+};
+
+}  // namespace aqua::dsp

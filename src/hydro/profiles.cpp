@@ -1,0 +1,62 @@
+#include "hydro/profiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::hydro {
+
+using phys::FluidProperties;
+using util::Metres;
+using util::MetresPerSecond;
+using util::Pascals;
+
+double pipe_reynolds(const FluidProperties& fluid, MetresPerSecond mean_velocity,
+                     Metres diameter) {
+  return fluid.density * std::abs(mean_velocity.value()) * diameter.value() /
+         fluid.dynamic_viscosity;
+}
+
+namespace {
+/// Logistic weight: 0 fully laminar, 1 fully turbulent.
+double turbulence_weight(double re) {
+  return 1.0 / (1.0 + std::exp(-(re - 3000.0) / 300.0));
+}
+}  // namespace
+
+double profile_factor(double reynolds_number, double radius_fraction) {
+  const double r = std::clamp(radius_fraction, 0.0, 1.0);
+  const double laminar = 2.0 * (1.0 - r * r);
+  // 1/7th power law: u/U_c = (1−r)^(1/7); mean/centreline = 0.8167.
+  const double turbulent = std::pow(std::max(1.0 - r, 1e-9), 1.0 / 7.0) / 0.8167;
+  const double w = turbulence_weight(reynolds_number);
+  return (1.0 - w) * laminar + w * turbulent;
+}
+
+double centreline_factor(double reynolds_number) {
+  return profile_factor(reynolds_number, 0.0);
+}
+
+double darcy_friction_factor(double reynolds_number, double relative_roughness) {
+  if (relative_roughness < 0.0)
+    throw std::invalid_argument("darcy_friction_factor: negative roughness");
+  const double re = std::max(reynolds_number, 1.0);
+  const double laminar = 64.0 / re;
+  // Swamee–Jain explicit approximation of Colebrook.
+  const double arg = relative_roughness / 3.7 + 5.74 / std::pow(re, 0.9);
+  const double turbulent = 0.25 / std::pow(std::log10(arg), 2.0);
+  const double w = turbulence_weight(re);
+  return (1.0 - w) * laminar + w * turbulent;
+}
+
+Pascals pressure_drop(const FluidProperties& fluid,
+                      MetresPerSecond mean_velocity, Metres diameter,
+                      Metres length, double relative_roughness) {
+  const double re = pipe_reynolds(fluid, mean_velocity, diameter);
+  const double f = darcy_friction_factor(re, relative_roughness);
+  const double v = mean_velocity.value();
+  return Pascals{f * length.value() / diameter.value() * 0.5 * fluid.density *
+                 v * std::abs(v)};
+}
+
+}  // namespace aqua::hydro

@@ -1,0 +1,41 @@
+// profiles.hpp — pipe velocity-profile corrections. An insertion probe (paper
+// Fig. 9/10) samples the *point* velocity at its head, while a reference
+// magmeter reports the *area-mean* velocity; calibrating one against the
+// other needs the profile factor, which depends on the flow regime.
+//
+// Laminar (Re < ~2300): Poiseuille parabola, centreline = 2·mean.
+// Turbulent (Re > ~4000): 1/7th-power law, centreline ≈ 1.224·mean.
+// Transition: smooth logistic blend (real pipes meander between the two).
+#pragma once
+
+#include "phys/fluid.hpp"
+#include "util/units.hpp"
+
+namespace aqua::hydro {
+
+/// Pipe Reynolds number from the mean velocity.
+[[nodiscard]] double pipe_reynolds(const phys::FluidProperties& fluid,
+                                   util::MetresPerSecond mean_velocity,
+                                   util::Metres diameter);
+
+/// Local/mean velocity ratio at normalised radius r (0 = axis, 1 = wall) for
+/// the given pipe Reynolds number.
+[[nodiscard]] double profile_factor(double reynolds_number, double radius_fraction);
+
+/// Ratio of centreline to mean velocity.
+[[nodiscard]] double centreline_factor(double reynolds_number);
+
+/// Darcy friction factor: 64/Re laminar, Swamee–Jain turbulent, blended in
+/// transition. `relative_roughness` = eps/D.
+[[nodiscard]] double darcy_friction_factor(double reynolds_number,
+                                           double relative_roughness);
+
+/// Pressure drop over a pipe length at the given mean velocity
+/// (Darcy–Weisbach).
+[[nodiscard]] util::Pascals pressure_drop(const phys::FluidProperties& fluid,
+                                          util::MetresPerSecond mean_velocity,
+                                          util::Metres diameter,
+                                          util::Metres length,
+                                          double relative_roughness);
+
+}  // namespace aqua::hydro

@@ -1,0 +1,87 @@
+#include "hydro/water_line.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aqua::hydro {
+
+using util::Kelvin;
+using util::MetresPerSecond;
+using util::Pascals;
+using util::Seconds;
+
+WaterLine::WaterLine(const WaterLineConfig& config, util::Rng rng)
+    : config_(config),
+      rng_(rng),
+      speed_schedule_(0.0),
+      pressure_schedule_(util::bar(2.0).value()),
+      temperature_schedule_(util::celsius(15.0).value()),
+      valve_(0.0, config.valve_tau) {}
+
+void WaterLine::set_speed_schedule(sim::Schedule schedule) {
+  speed_schedule_ = std::move(schedule);
+}
+void WaterLine::set_pressure_schedule(sim::Schedule schedule) {
+  pressure_schedule_ = std::move(schedule);
+}
+void WaterLine::set_temperature_schedule(sim::Schedule schedule) {
+  temperature_schedule_ = std::move(schedule);
+}
+
+void WaterLine::step(Seconds dt) {
+  t_ += dt;
+  const double target = speed_schedule_.at(t_);
+  const double mean_before = valve_.value();
+  const double mean_after = valve_.step(target, dt);
+
+  // Water hammer: a fast velocity change rings the line; track the rate of
+  // change through the valve and let the overpressure decay.
+  const double dv_dt = (mean_after - mean_before) / std::max(dt.value(), 1e-12);
+  const double spike =
+      config_.hammer_bar_per_mps * 1e5 * std::abs(dv_dt) * dt.value();
+  hammer_overpressure_ += spike;
+  hammer_overpressure_ *= std::exp(-dt.value() / config_.hammer_decay.value());
+
+  // Turbulence: AR(1) (Ornstein-Uhlenbeck) with unit stationary variance.
+  const double a = std::exp(-dt.value() / config_.turbulence_correlation.value());
+  turbulence_state_ = a * turbulence_state_ +
+                      std::sqrt(std::max(0.0, 1.0 - a * a)) * rng_.gaussian();
+  prev_mean_velocity_ = mean_after;
+}
+
+MetresPerSecond WaterLine::mean_velocity() const {
+  return MetresPerSecond{prev_mean_velocity_};
+}
+
+MetresPerSecond WaterLine::probe_velocity() const {
+  const auto props = phys::water_properties(temperature());
+  const double re = pipe_reynolds(props, mean_velocity(), config_.pipe_diameter);
+  const double factor = profile_factor(re, config_.probe_radius_fraction);
+  // Turbulent fluctuation scales with the local speed and dies out in the
+  // laminar regime.
+  const double regime = 1.0 / (1.0 + std::exp(-(re - 3000.0) / 300.0));
+  const double v_point = prev_mean_velocity_ * factor;
+  const double fluct = config_.turbulence_intensity * regime * v_point;
+  return MetresPerSecond{v_point + fluct * turbulence_state_};
+}
+
+Pascals WaterLine::pressure() const {
+  return Pascals{pressure_schedule_.at(t_) + hammer_overpressure_};
+}
+
+Kelvin WaterLine::temperature() const {
+  return Kelvin{temperature_schedule_.at(t_)};
+}
+
+maf::Environment WaterLine::environment() const {
+  maf::Environment env;
+  env.medium = phys::Medium::kWater;
+  env.speed = probe_velocity();
+  env.fluid_temperature = temperature();
+  env.pressure = pressure();
+  env.dissolved_gas_saturation = config_.dissolved_gas_saturation;
+  env.chemistry = config_.chemistry;
+  return env;
+}
+
+}  // namespace aqua::hydro

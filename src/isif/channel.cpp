@@ -1,0 +1,69 @@
+#include "isif/channel.hpp"
+
+#include <stdexcept>
+
+namespace aqua::isif {
+
+using util::Hertz;
+using util::Kelvin;
+using util::Seconds;
+using util::Volts;
+
+InputChannel::InputChannel(const ChannelConfig& config, util::Rng rng)
+    : config_(config),
+      amp_(config.amp, config.modulator_clock, rng.split()),
+      lpf_(config.anti_alias_cutoff, config.anti_alias_poles),
+      adc_(config.adc, rng.split()),
+      cic_(config.cic_order, config.decimation) {
+  if (config.modulator_clock.value() <= 0.0)
+    throw std::invalid_argument("InputChannel: bad modulator clock");
+  if (config.output_bits < 8 || config.output_bits > 24)
+    throw std::invalid_argument("InputChannel: output bits out of range [8,24]");
+}
+
+std::optional<ChannelSample> InputChannel::tick(Volts differential_input,
+                                                Kelvin ambient) {
+  const Seconds dt = tick_period();
+  const double amplified = amp_.step(differential_input, dt, ambient);
+  const double filtered = lpf_.step(amplified, dt);
+  const int bit = adc_.step(Volts{filtered});
+  overload_latch_ = overload_latch_ || adc_.overloaded();
+
+  const auto decimated = cic_.push(static_cast<double>(bit));
+  if (!decimated) return std::nullopt;
+
+  // CIC output is the recovered signal normalised to ±1 of the ADC full
+  // scale; quantise to the channel's output word.
+  const double normalised = *decimated;
+  const std::int32_t code =
+      dsp::quantize_code(normalised, 1.0, config_.output_bits);
+  const double adc_input_volts =
+      dsp::dequantize_code(code, config_.adc.full_scale.value(),
+                           config_.output_bits);
+  ChannelSample sample{code, adc_input_volts / amp_.gain(), overload_latch_};
+  overload_latch_ = false;
+  return sample;
+}
+
+Hertz InputChannel::output_rate() const {
+  return Hertz{config_.modulator_clock.value() / config_.decimation};
+}
+
+Seconds InputChannel::tick_period() const {
+  return Seconds{1.0 / config_.modulator_clock.value()};
+}
+
+Volts InputChannel::input_referred_lsb() const {
+  return Volts{dsp::lsb_size(config_.adc.full_scale.value(),
+                             config_.output_bits) /
+               amp_.gain()};
+}
+
+void InputChannel::reset() {
+  lpf_.reset();
+  adc_.reset();
+  cic_.reset();
+  overload_latch_ = false;
+}
+
+}  // namespace aqua::isif

@@ -1,0 +1,68 @@
+// channel.hpp — one ISIF analog input channel (paper Fig. 4): readout stage
+// programmed as an instrument amplifier, analog low-pass for anti-aliasing, a
+// 16-bit ΣΔ ADC, and the digital decimation that recovers the word. The
+// channel runs at the modulator clock; a decimated sample (signed code +
+// engineering value) pops out every `decimation` ticks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "analog/amplifier.hpp"
+#include "analog/rc_filter.hpp"
+#include "analog/sigma_delta.hpp"
+#include "dsp/cic.hpp"
+#include "dsp/fixed_point.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace aqua::isif {
+
+struct ChannelConfig {
+  analog::InstrumentAmpSpec amp{};
+  util::Hertz anti_alias_cutoff = util::hertz(20e3);
+  int anti_alias_poles = 2;
+  analog::SigmaDeltaSpec adc{};
+  util::Hertz modulator_clock = util::hertz(256e3);
+  int cic_order = 3;
+  int decimation = 128;  ///< output rate = modulator_clock / decimation
+  int output_bits = 16;  ///< the "16 bits Sigma Delta ADC" word width
+};
+
+/// One decimated conversion result.
+struct ChannelSample {
+  std::int32_t code;   ///< signed `output_bits`-wide code
+  double value;        ///< code scaled back to volts at the channel input
+  bool overload;       ///< modulator overloaded during the block
+};
+
+class InputChannel {
+ public:
+  InputChannel(const ChannelConfig& config, util::Rng rng);
+
+  /// One modulator-clock tick with the given differential input at the pins.
+  /// Returns a sample every `decimation` ticks.
+  std::optional<ChannelSample> tick(util::Volts differential_input,
+                                    util::Kelvin ambient = util::celsius(25.0));
+
+  void set_gain(double gain) { amp_.set_gain(gain); }
+  [[nodiscard]] double gain() const { return amp_.gain(); }
+
+  [[nodiscard]] const ChannelConfig& config() const { return config_; }
+  [[nodiscard]] util::Hertz output_rate() const;
+  [[nodiscard]] util::Seconds tick_period() const;
+  /// Smallest input-referred step the channel can represent (1 output LSB).
+  [[nodiscard]] util::Volts input_referred_lsb() const;
+
+  void reset();
+
+ private:
+  ChannelConfig config_;
+  analog::InstrumentAmp amp_;
+  analog::RcLowpass lpf_;
+  analog::SigmaDeltaModulator adc_;
+  dsp::CicDecimator cic_;
+  bool overload_latch_ = false;
+};
+
+}  // namespace aqua::isif

@@ -1,0 +1,38 @@
+#include "isif/dac_ctrl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::isif {
+
+using util::Seconds;
+using util::Volts;
+
+DacController::DacController(const analog::ThermometerDacSpec& spec,
+                             util::Rng rng, int max_step_codes)
+    : dac_(spec, rng), max_step_(max_step_codes) {
+  if (max_step_codes < 0)
+    throw std::invalid_argument("DacController: negative slew limit");
+}
+
+void DacController::request_code(int code) {
+  target_ = std::clamp(code, 0, dac_.max_code());
+}
+
+void DacController::request_voltage(Volts v) {
+  const double frac = v.value() / dac_.ideal_output(dac_.max_code()).value();
+  request_code(static_cast<int>(std::lround(frac * dac_.max_code())));
+}
+
+Volts DacController::update(Seconds dt) {
+  int next = target_;
+  if (max_step_ > 0) {
+    const int delta = std::clamp(target_ - dac_.code(), -max_step_, max_step_);
+    next = dac_.code() + delta;
+  }
+  dac_.write_code(next);
+  return dac_.step(dt);
+}
+
+}  // namespace aqua::isif

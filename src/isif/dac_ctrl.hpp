@@ -1,0 +1,36 @@
+// dac_ctrl.hpp — DAC controller IP. The ISIF digital section exposes "6 DAC
+// controllers" that move words from the control loop to the thermometer DACs;
+// this model adds the register interface and an optional slew limit (codes
+// per update) that the hardware uses to keep the bridge supply glitch-free.
+#pragma once
+
+#include "analog/dac.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace aqua::isif {
+
+class DacController {
+ public:
+  DacController(const analog::ThermometerDacSpec& spec, util::Rng rng,
+                int max_step_codes = 0);  ///< 0 = unlimited slew
+
+  /// Requests a target code; the controller slews toward it on update().
+  void request_code(int code);
+  void request_voltage(util::Volts v);
+
+  /// One control-rate update (applies slew limiting), then `dt` of analog
+  /// settling; returns the DAC output voltage.
+  util::Volts update(util::Seconds dt);
+
+  [[nodiscard]] int current_code() const { return dac_.code(); }
+  [[nodiscard]] int target_code() const { return target_; }
+  [[nodiscard]] const analog::ThermometerDac& dac() const { return dac_; }
+
+ private:
+  analog::ThermometerDac dac_;
+  int target_ = 0;
+  int max_step_;
+};
+
+}  // namespace aqua::isif

@@ -1,0 +1,44 @@
+#include "isif/firmware.hpp"
+
+#include <stdexcept>
+
+namespace aqua::isif {
+
+Firmware::Firmware(const LeonSpec& leon, util::Hertz base_rate)
+    : leon_(leon), base_rate_(base_rate) {
+  if (base_rate.value() <= 0.0 || leon.clock.value() <= 0.0)
+    throw std::invalid_argument("Firmware: bad rates");
+  cycles_per_tick_budget_ = leon_.clock.value() / base_rate_.value();
+}
+
+void Firmware::add_task(std::string name, int divisor, int cycles,
+                        std::function<void()> body) {
+  if (divisor < 1) throw std::invalid_argument("Firmware: divisor must be >= 1");
+  if (cycles < 0) throw std::invalid_argument("Firmware: negative cycle cost");
+  tasks_.push_back(Task{std::move(name), divisor, cycles, std::move(body)});
+}
+
+void Firmware::tick() {
+  double tick_cycles = 0.0;
+  for (Task& t : tasks_) {
+    if (ticks_ % t.divisor == 0) {
+      t.body();
+      tick_cycles += t.cycles;
+    }
+  }
+  ++ticks_;
+  total_cycles_ += tick_cycles;
+  if (tick_cycles > peak_tick_cycles_) peak_tick_cycles_ = tick_cycles;
+  if (tick_cycles > cycles_per_tick_budget_) watchdog_ = true;
+}
+
+double Firmware::average_load() const {
+  if (ticks_ == 0) return 0.0;
+  return total_cycles_ / (static_cast<double>(ticks_) * cycles_per_tick_budget_);
+}
+
+double Firmware::peak_load() const {
+  return peak_tick_cycles_ / cycles_per_tick_budget_;
+}
+
+}  // namespace aqua::isif

@@ -1,0 +1,63 @@
+// firmware.hpp — the LEON firmware scheduler. Control laws register as
+// periodic tasks at divisors of the channel output rate; the scheduler runs
+// them, accounts their declared cycle cost against the CPU budget and trips a
+// watchdog if a tick's work exceeds the cycle budget of one period (the
+// real-time feasibility check behind the paper's claim that software IPs give
+// the LEON "required computational power for real-time implementation").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace aqua::isif {
+
+struct LeonSpec {
+  util::Hertz clock = util::hertz(40e6);  ///< 0.35 µm-era LEON system clock
+};
+
+class Firmware {
+ public:
+  /// `base_rate` is the rate at which tick() is called (the decimated channel
+  /// rate in the MAF application).
+  Firmware(const LeonSpec& leon, util::Hertz base_rate);
+
+  /// Registers a task that runs every `divisor` base ticks and reports
+  /// costing `cycles` per invocation (use the IP blocks' cycles_per_sample).
+  void add_task(std::string name, int divisor, int cycles,
+                std::function<void()> body);
+
+  /// Runs due tasks for this base tick.
+  void tick();
+
+  /// Average CPU load (fraction of available cycles) since construction.
+  [[nodiscard]] double average_load() const;
+  /// Worst single-tick load observed.
+  [[nodiscard]] double peak_load() const;
+  /// True once any tick exceeded the per-period cycle budget.
+  [[nodiscard]] bool watchdog_tripped() const { return watchdog_; }
+
+  [[nodiscard]] util::Hertz base_rate() const { return base_rate_; }
+  [[nodiscard]] long long ticks() const { return ticks_; }
+
+ private:
+  struct Task {
+    std::string name;
+    int divisor;
+    int cycles;
+    std::function<void()> body;
+  };
+
+  LeonSpec leon_;
+  util::Hertz base_rate_;
+  double cycles_per_tick_budget_;
+  std::vector<Task> tasks_;
+  long long ticks_ = 0;
+  double total_cycles_ = 0.0;
+  double peak_tick_cycles_ = 0.0;
+  bool watchdog_ = false;
+};
+
+}  // namespace aqua::isif

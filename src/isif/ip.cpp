@@ -1,0 +1,101 @@
+#include "isif/ip.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aqua::isif {
+
+using dsp::Q23;
+
+IirIp::IirIp(std::vector<dsp::BiquadCoefficients> sections, IpImpl impl,
+             const CycleCosts& costs)
+    : impl_(impl),
+      costs_(costs),
+      float_path_(sections),
+      section_count_(sections.size()) {
+  if (sections.empty()) throw std::invalid_argument("IirIp: no sections");
+  for (const auto& c : sections) {
+    FixedSection f;
+    f.b0 = Q23::from_double(c.b0);
+    f.b1 = Q23::from_double(c.b1);
+    f.b2 = Q23::from_double(c.b2);
+    f.a1 = Q23::from_double(c.a1);
+    f.a2 = Q23::from_double(c.a2);
+    fixed_path_.push_back(f);
+  }
+}
+
+double IirIp::process(double x) {
+  if (impl_ == IpImpl::kSoftwareFloat) return float_path_.process(x);
+  // Q23 transposed direct form II — the silicon datapath and its bit-exact
+  // software twin run exactly this code.
+  Q23 v = Q23::from_double(x);
+  for (auto& s : fixed_path_) {
+    const Q23 y = s.b0 * v + s.s1;
+    s.s1 = s.b1 * v - s.a1 * y + s.s2;
+    s.s2 = s.b2 * v - s.a2 * y;
+    v = y;
+  }
+  return v.to_double();
+}
+
+void IirIp::reset() {
+  float_path_.reset();
+  for (auto& s : fixed_path_) {
+    s.s1 = Q23{};
+    s.s2 = Q23{};
+  }
+}
+
+int IirIp::cycles_per_sample() const {
+  if (impl_ == IpImpl::kHardwareFixed) return 0;
+  return costs_.sample_overhead +
+         costs_.per_biquad_section * static_cast<int>(section_count_);
+}
+
+PiIp::PiIp(const dsp::PidGains& gains, const dsp::PidLimits& limits,
+           util::Hertz rate, IpImpl impl, const CycleCosts& costs)
+    : impl_(impl),
+      costs_(costs),
+      float_path_(gains, limits, rate),
+      out_min_(limits.out_min),
+      out_max_(limits.out_max) {
+  kp_ = Q23::from_double(gains.kp);
+  ki_dt_ = Q23::from_double(gains.ki / rate.value());
+}
+
+double PiIp::update(double error) {
+  if (impl_ == IpImpl::kSoftwareFloat) {
+    last_output_ = float_path_.update(error);
+    return last_output_;
+  }
+  const Q23 e = Q23::from_double(error);
+  const Q23 tentative = integral_ + ki_dt_ * e;
+  double u = (kp_ * e + tentative).to_double();
+  if (u > out_max_) {
+    u = out_max_;
+    if ((ki_dt_ * e).to_double() < 0.0) integral_ = tentative;
+  } else if (u < out_min_) {
+    u = out_min_;
+    if ((ki_dt_ * e).to_double() > 0.0) integral_ = tentative;
+  } else {
+    integral_ = tentative;
+  }
+  last_output_ = u;
+  return u;
+}
+
+void PiIp::reset(double output) {
+  float_path_.reset(output);
+  integral_ = Q23::from_double(std::clamp(output, out_min_, out_max_));
+  last_output_ = integral_.to_double();
+}
+
+int PiIp::cycles_per_sample() const {
+  if (impl_ == IpImpl::kHardwareFixed) return 0;
+  return costs_.sample_overhead + costs_.pi_controller;
+}
+
+double PiIp::output() const { return last_output_; }
+
+}  // namespace aqua::isif

@@ -1,0 +1,88 @@
+// ip.hpp — the ISIF hardware-IP / software-IP duality (paper §3): every DSP
+// block exists both as dedicated silicon and as a LEON software routine "with
+// an exact matching with hardware devices", so a control law validated in
+// firmware can be moved to hardware "with low risks". Three implementations
+// are modelled:
+//
+//   kHardwareFixed — the silicon datapath: Q23 fixed-point, zero CPU cost;
+//   kSoftwareFixed — the bit-exact emulation routine: same Q23 math on the
+//                    LEON, costs cycles (this is the paper's "exact match");
+//   kSoftwareFloat — a quick-prototyping float routine: cheapest to write,
+//                    costs cycles and does NOT bit-match the silicon.
+//
+// Experiment E12 quantifies both the match and the LEON cycle budget.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dsp/biquad.hpp"
+#include "dsp/fixed_point.hpp"
+#include "dsp/pid.hpp"
+#include "util/units.hpp"
+
+namespace aqua::isif {
+
+enum class IpImpl { kHardwareFixed, kSoftwareFixed, kSoftwareFloat };
+
+/// LEON-2-class cycle costs per processed sample (SPARC V8 with the hardware
+/// MUL/DIV the paper highlights). Rough figures from integer DSP kernels.
+struct CycleCosts {
+  int per_biquad_section = 42;
+  int per_fir_tap = 7;
+  int pi_controller = 65;
+  int sample_overhead = 30;  ///< load/store/loop per task invocation
+};
+
+/// A second-order-sections IIR that can run as any of the three
+/// implementations. Fixed-point variants quantise coefficients and state to
+/// Q23 so hardware and bit-exact software produce identical codes.
+class IirIp {
+ public:
+  IirIp(std::vector<dsp::BiquadCoefficients> sections, IpImpl impl,
+        const CycleCosts& costs = {});
+
+  double process(double x);
+  void reset();
+
+  [[nodiscard]] IpImpl implementation() const { return impl_; }
+  /// LEON cycles consumed per sample (0 for the hardware IP).
+  [[nodiscard]] int cycles_per_sample() const;
+
+ private:
+  struct FixedSection {
+    dsp::Q23 b0, b1, b2, a1, a2;
+    dsp::Q23 s1{}, s2{};
+  };
+  IpImpl impl_;
+  CycleCosts costs_;
+  dsp::BiquadCascade float_path_;
+  std::vector<FixedSection> fixed_path_;
+  std::size_t section_count_;
+};
+
+/// PI controller IP with the same three implementations.
+class PiIp {
+ public:
+  PiIp(const dsp::PidGains& gains, const dsp::PidLimits& limits,
+       util::Hertz rate, IpImpl impl, const CycleCosts& costs = {});
+
+  double update(double error);
+  void reset(double output = 0.0);
+
+  [[nodiscard]] IpImpl implementation() const { return impl_; }
+  [[nodiscard]] int cycles_per_sample() const;
+  [[nodiscard]] double output() const;
+
+ private:
+  IpImpl impl_;
+  CycleCosts costs_;
+  dsp::PidController float_path_;
+  // Fixed path state (Q23 integrator, quantised gains).
+  dsp::Q23 ki_dt_{}, kp_{};
+  dsp::Q23 integral_{};
+  double out_min_, out_max_;
+  double last_output_ = 0.0;
+};
+
+}  // namespace aqua::isif

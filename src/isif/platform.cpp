@@ -1,0 +1,46 @@
+#include "isif/platform.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace aqua::isif {
+
+Isif::Isif(const IsifConfig& config, util::Rng rng)
+    : config_(config),
+      firmware_(config.leon, util::Hertz{config.channel.modulator_clock.value() /
+                                         config.channel.decimation}) {
+  for (int i = 0; i < kChannelCount; ++i)
+    channels_[i] = std::make_unique<InputChannel>(config.channel, rng.split());
+  for (int i = 0; i < kDacCount; ++i) {
+    const auto& spec = (i < 4) ? config.dac12 : config.dac10;
+    dacs_[i] = std::make_unique<DacController>(spec, rng.split(),
+                                               config.dac_slew_codes);
+  }
+  for (int i = 0; i < kChannelCount; ++i) {
+    regs_.define("CH" + std::to_string(i) + "_CFG",
+                 {FieldSpec{"gain_sel", 0, 3}, FieldSpec{"enable", 3, 1}});
+  }
+  regs_.define("DAC_CFG", {FieldSpec{"slew_limit", 0, 12}});
+}
+
+InputChannel& Isif::channel(int index) {
+  if (index < 0 || index >= kChannelCount)
+    throw std::out_of_range("Isif: channel index");
+  return *channels_[index];
+}
+
+DacController& Isif::dac(int index) {
+  if (index < 0 || index >= kDacCount)
+    throw std::out_of_range("Isif: dac index");
+  return *dacs_[index];
+}
+
+void Isif::apply_registers() {
+  for (int i = 0; i < kChannelCount; ++i) {
+    const auto sel =
+        regs_.read_field("CH" + std::to_string(i) + "_CFG", "gain_sel");
+    channels_[i]->set_gain(static_cast<double>(1u << sel));
+  }
+}
+
+}  // namespace aqua::isif

@@ -1,0 +1,55 @@
+// platform.hpp — the ISIF platform SoC model (paper §3, Fig. 3): four analog
+// input channels, six thermometer-DAC drive outputs (four 12-bit, two
+// 10-bit), the LEON firmware scheduler, and the configuration register file
+// that crosses the digital/analog boundary. This is the composition root the
+// MAF application wires its loop onto.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "isif/channel.hpp"
+#include "isif/dac_ctrl.hpp"
+#include "isif/firmware.hpp"
+#include "isif/registers.hpp"
+#include "util/rng.hpp"
+
+namespace aqua::isif {
+
+struct IsifConfig {
+  ChannelConfig channel{};
+  analog::ThermometerDacSpec dac12{12, util::volts(8.0), 2e-4,
+                                   util::Seconds{2e-6}};
+  analog::ThermometerDacSpec dac10{10, util::volts(8.0), 2e-4,
+                                   util::Seconds{2e-6}};
+  LeonSpec leon{};
+  int dac_slew_codes = 0;  ///< per-update DAC slew limit (0 = off)
+};
+
+class Isif {
+ public:
+  static constexpr int kChannelCount = 4;
+  static constexpr int kDacCount = 6;  ///< 0..3 are 12-bit, 4..5 are 10-bit
+
+  Isif(const IsifConfig& config, util::Rng rng);
+
+  [[nodiscard]] InputChannel& channel(int index);
+  [[nodiscard]] DacController& dac(int index);
+  [[nodiscard]] Firmware& firmware() { return firmware_; }
+  [[nodiscard]] const Firmware& firmware() const { return firmware_; }
+  [[nodiscard]] RegisterFile& registers() { return regs_; }
+  [[nodiscard]] const IsifConfig& config() const { return config_; }
+
+  /// Pushes the CHn_CFG register fields (gain_sel: gain = 2^sel) into the
+  /// analog blocks — the JLCC-style configuration crossing.
+  void apply_registers();
+
+ private:
+  IsifConfig config_;
+  std::array<std::unique_ptr<InputChannel>, kChannelCount> channels_;
+  std::array<std::unique_ptr<DacController>, kDacCount> dacs_;
+  Firmware firmware_;
+  RegisterFile regs_;
+};
+
+}  // namespace aqua::isif

@@ -1,0 +1,74 @@
+#include "isif/registers.hpp"
+
+#include <stdexcept>
+
+namespace aqua::isif {
+
+void RegisterFile::define(const std::string& reg, std::vector<FieldSpec> fields) {
+  if (regs_.count(reg))
+    throw std::invalid_argument("RegisterFile: duplicate register " + reg);
+  for (const auto& f : fields) {
+    if (f.lsb < 0 || f.width <= 0 || f.lsb + f.width > 32)
+      throw std::invalid_argument("RegisterFile: bad field geometry in " + reg);
+  }
+  regs_[reg] = Register{0, std::move(fields)};
+}
+
+bool RegisterFile::has(const std::string& reg) const { return regs_.count(reg); }
+
+const RegisterFile::Register& RegisterFile::get(const std::string& reg) const {
+  const auto it = regs_.find(reg);
+  if (it == regs_.end())
+    throw std::out_of_range("RegisterFile: unknown register " + reg);
+  return it->second;
+}
+
+RegisterFile::Register& RegisterFile::get(const std::string& reg) {
+  return const_cast<Register&>(static_cast<const RegisterFile*>(this)->get(reg));
+}
+
+void RegisterFile::write_raw(const std::string& reg, std::uint32_t value) {
+  get(reg).value = value;
+}
+
+std::uint32_t RegisterFile::read_raw(const std::string& reg) const {
+  return get(reg).value;
+}
+
+const FieldSpec& RegisterFile::find_field(const Register& r,
+                                          const std::string& reg,
+                                          const std::string& field) {
+  for (const auto& f : r.fields)
+    if (f.name == field) return f;
+  throw std::out_of_range("RegisterFile: unknown field " + reg + "." + field);
+}
+
+void RegisterFile::write_field(const std::string& reg, const std::string& field,
+                               std::uint32_t value) {
+  Register& r = get(reg);
+  const FieldSpec& f = find_field(r, reg, field);
+  const std::uint32_t mask =
+      f.width == 32 ? 0xFFFFFFFFu : ((std::uint32_t{1} << f.width) - 1);
+  if (value > mask)
+    throw std::invalid_argument("RegisterFile: value does not fit " + reg + "." +
+                                field);
+  r.value = (r.value & ~(mask << f.lsb)) | (value << f.lsb);
+}
+
+std::uint32_t RegisterFile::read_field(const std::string& reg,
+                                       const std::string& field) const {
+  const Register& r = get(reg);
+  const FieldSpec& f = find_field(r, reg, field);
+  const std::uint32_t mask =
+      f.width == 32 ? 0xFFFFFFFFu : ((std::uint32_t{1} << f.width) - 1);
+  return (r.value >> f.lsb) & mask;
+}
+
+std::vector<std::string> RegisterFile::register_names() const {
+  std::vector<std::string> names;
+  names.reserve(regs_.size());
+  for (const auto& [name, _] : regs_) names.push_back(name);
+  return names;
+}
+
+}  // namespace aqua::isif

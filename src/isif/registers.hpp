@@ -1,0 +1,53 @@
+// registers.hpp — the ISIF configuration register file. The platform's analog
+// blocks are configured through digital words shipped across the JLCC-style
+// digital/analog boundary (paper §3); this model keeps a flat map of named
+// 32-bit registers with declared bit-fields so firmware and tests configure
+// the channel the way the real part would (field writes, read-back,
+// out-of-range rejection).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aqua::isif {
+
+struct FieldSpec {
+  std::string name;
+  int lsb;    ///< least significant bit position
+  int width;  ///< bits
+};
+
+class RegisterFile {
+ public:
+  /// Declares a register with its fields; initial raw value 0.
+  void define(const std::string& reg, std::vector<FieldSpec> fields);
+
+  [[nodiscard]] bool has(const std::string& reg) const;
+
+  void write_raw(const std::string& reg, std::uint32_t value);
+  [[nodiscard]] std::uint32_t read_raw(const std::string& reg) const;
+
+  /// Writes one named field; throws if the value does not fit the field.
+  void write_field(const std::string& reg, const std::string& field,
+                   std::uint32_t value);
+  [[nodiscard]] std::uint32_t read_field(const std::string& reg,
+                                         const std::string& field) const;
+
+  [[nodiscard]] std::vector<std::string> register_names() const;
+
+ private:
+  struct Register {
+    std::uint32_t value = 0;
+    std::vector<FieldSpec> fields;
+  };
+  const Register& get(const std::string& reg) const;
+  Register& get(const std::string& reg);
+  static const FieldSpec& find_field(const Register& r, const std::string& reg,
+                                     const std::string& field);
+
+  std::map<std::string, Register> regs_;
+};
+
+}  // namespace aqua::isif

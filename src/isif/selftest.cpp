@@ -1,0 +1,53 @@
+#include "isif/selftest.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::isif {
+
+using util::Hertz;
+using util::Volts;
+
+ChannelSelfTestResult run_channel_self_test(InputChannel& channel,
+                                            const ChannelSelfTest& config) {
+  const double out_rate = channel.output_rate().value();
+  if (config.tone.value() <= 0.0 || config.tone.value() >= 0.25 * out_rate)
+    throw std::invalid_argument(
+        "run_channel_self_test: tone must be well below the output Nyquist");
+  if (config.periods < 4)
+    throw std::invalid_argument("run_channel_self_test: need >= 4 periods");
+
+  const Hertz mod_clock = channel.config().modulator_clock;
+  dsp::Nco stimulus{config.tone, mod_clock, config.amplitude.value()};
+
+  // Coherent Goertzel block on the decimated stream.
+  const auto samples_per_period =
+      static_cast<std::size_t>(std::lround(out_rate / config.tone.value()));
+  const std::size_t block = samples_per_period * config.periods;
+  dsp::Goertzel detector{config.tone, Hertz{out_rate}, block};
+
+  channel.reset();
+  // Let the pipeline fill before integrating (one extra period).
+  const long long warmup_ticks =
+      channel.config().decimation * static_cast<long long>(samples_per_period);
+  for (long long i = 0; i < warmup_ticks; ++i)
+    (void)channel.tick(Volts{stimulus.next()});
+
+  bool complete = false;
+  double measured = 0.0;
+  while (!complete) {
+    const auto sample = channel.tick(Volts{stimulus.next()});
+    if (sample && detector.push(sample->value)) {
+      measured = detector.amplitude();
+      complete = true;
+    }
+  }
+  channel.reset();
+
+  const double gain = measured / config.amplitude.value();
+  const double error = gain - 1.0;
+  return ChannelSelfTestResult{gain, error,
+                               std::abs(error) <= config.gain_tolerance};
+}
+
+}  // namespace aqua::isif

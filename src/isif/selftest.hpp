@@ -1,0 +1,35 @@
+// selftest.hpp — built-in self-test over the ISIF test bus. The platform
+// provides "an input/output test bus ... to supply stimuli and to probe
+// output signals for each block" (paper §3); pairing the sine-generator IP
+// with a Goertzel detector lets firmware verify an input channel's whole
+// conversion chain (amp → LPF → ΣΔ → CIC) without touching the sensor — the
+// diagnostic a field-deployed water meter runs at power-up.
+#pragma once
+
+#include "dsp/goertzel.hpp"
+#include "dsp/nco.hpp"
+#include "isif/channel.hpp"
+#include "util/units.hpp"
+
+namespace aqua::isif {
+
+struct ChannelSelfTest {
+  util::Hertz tone = util::hertz(100.0);      ///< must be « output rate / 2
+  util::Volts amplitude = util::millivolts(5.0);
+  int periods = 40;                           ///< integration length
+  double gain_tolerance = 0.05;               ///< pass window on |H|, ±5 %
+};
+
+struct ChannelSelfTestResult {
+  double measured_gain;  ///< channel transfer at the tone (input-referred ≈ 1)
+  double gain_error;     ///< measured_gain − 1
+  bool pass;
+};
+
+/// Drives the channel input from the sine IP and measures the decimated
+/// output with Goertzel. The channel is reset afterwards so normal operation
+/// resumes cleanly.
+[[nodiscard]] ChannelSelfTestResult run_channel_self_test(
+    InputChannel& channel, const ChannelSelfTest& config = {});
+
+}  // namespace aqua::isif

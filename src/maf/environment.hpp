@@ -1,0 +1,24 @@
+// environment.hpp — the fluid environment the MAF die is immersed in at one
+// instant: what the test line (hydro) produces and what the die model and the
+// fouling dynamics consume.
+#pragma once
+
+#include "phys/carbonate.hpp"
+#include "phys/fluid.hpp"
+#include "util/units.hpp"
+
+namespace aqua::maf {
+
+struct Environment {
+  phys::Medium medium = phys::Medium::kWater;
+  /// Signed flow speed at the sensor head; positive is the "forward" pipe
+  /// direction (heater A upstream of heater B).
+  util::MetresPerSecond speed = util::metres_per_second(0.0);
+  util::Kelvin fluid_temperature = util::celsius(15.0);
+  util::Pascals pressure = util::bar(2.0);
+  /// Dissolved-gas saturation of the water (1 = air-saturated; 0 = degassed).
+  double dissolved_gas_saturation = 1.0;
+  phys::WaterChemistry chemistry{};
+};
+
+}  // namespace aqua::maf

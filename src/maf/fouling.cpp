@@ -1,0 +1,55 @@
+#include "maf/fouling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aqua::maf {
+
+using util::Kelvin;
+using util::Seconds;
+using util::SquareMetres;
+
+FoulingState::FoulingState(const FoulingParameters& params) : params_(params) {}
+
+void FoulingState::step(Seconds dt, Kelvin wall_temperature,
+                        const Environment& env) {
+  const double h = dt.value();
+  const double overtemp =
+      wall_temperature.value() - env.fluid_temperature.value();
+
+  // --- Bubbles: nucleate above the outgassing/boiling onset, detach with
+  // shear and buoyancy. The (1 − θ) factor limits growth to bare surface.
+  const double onset = phys::bubble_onset_overtemperature(
+                           env.fluid_temperature, env.pressure,
+                           env.dissolved_gas_saturation)
+                           .value();
+  const double excess = std::max(0.0, overtemp - onset);
+  const double grow = params_.nucleation_rate * excess * (1.0 - bubble_coverage_);
+  const double shed =
+      (params_.detachment_rate +
+       params_.shear_detachment * std::abs(env.speed.value())) *
+      bubble_coverage_;
+  bubble_coverage_ = std::clamp(bubble_coverage_ + h * (grow - shed), 0.0, 0.95);
+
+  // --- CaCO3 deposit: inverse-solubility kinetics at the wall temperature.
+  const double rate = phys::deposit_growth_rate(
+      params_.scaling, env.chemistry, wall_temperature, deposit_thickness_);
+  deposit_thickness_ = std::max(0.0, deposit_thickness_ + h * rate);
+}
+
+double FoulingState::convection_factor() const {
+  // A bubble-covered patch still conducts a little through the gas film
+  // (~5 % of the liquid path).
+  return 1.0 - bubble_coverage_ * 0.95;
+}
+
+double FoulingState::deposit_resistance(SquareMetres area) const {
+  return phys::deposit_thermal_resistance(deposit_thickness_, area);
+}
+
+void FoulingState::clean() {
+  bubble_coverage_ = 0.0;
+  deposit_thickness_ = 0.0;
+}
+
+}  // namespace aqua::maf

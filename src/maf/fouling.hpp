@@ -1,0 +1,59 @@
+// fouling.hpp — surface-fouling state of one heater element: gas-bubble
+// coverage (paper Fig. 7) and CaCO3 deposit thickness (paper Fig. 8, Eq. 3).
+// Both states modulate the heater→fluid heat path and are the reason the
+// paper adopts pulsed drive, reduced overtemperature and SiN passivation.
+#pragma once
+
+#include "maf/environment.hpp"
+#include "phys/carbonate.hpp"
+#include "phys/saturation.hpp"
+#include "util/units.hpp"
+
+namespace aqua::maf {
+
+struct FoulingParameters {
+  /// Bubble nucleation rate (fraction of surface per second per kelvin above
+  /// the onset overtemperature).
+  double nucleation_rate = 0.02;
+  /// Bubble detachment rate at zero flow (fraction per second).
+  double detachment_rate = 0.01;
+  /// Extra detachment per (m/s) of flow shear.
+  double shear_detachment = 0.5;
+  /// CaCO3 kinetics; surface_reactivity reflects passivation quality.
+  phys::ScalingKinetics scaling{};
+};
+
+/// Per-heater fouling state; integrate with step().
+class FoulingState {
+ public:
+  explicit FoulingState(const FoulingParameters& params = {});
+
+  /// Advances bubble and deposit dynamics by dt at the given wall temperature.
+  void step(util::Seconds dt, util::Kelvin wall_temperature,
+            const Environment& env);
+
+  /// Fraction of the surface blanketed by gas bubbles, in [0, 0.95].
+  [[nodiscard]] double bubble_coverage() const { return bubble_coverage_; }
+  /// CaCO3 layer thickness (m).
+  [[nodiscard]] double deposit_thickness() const { return deposit_thickness_; }
+
+  /// Multiplier (0..1] on the convective film conductance from bubble
+  /// blanketing (bubbles insulate the covered fraction almost completely).
+  [[nodiscard]] double convection_factor() const;
+
+  /// Series thermal resistance (K/W) added by the deposit over `area`.
+  [[nodiscard]] double deposit_resistance(util::SquareMetres area) const;
+
+  /// Resets to a clean surface (fresh die or after cleaning).
+  void clean();
+
+  [[nodiscard]] const FoulingParameters& parameters() const { return params_; }
+  void set_parameters(const FoulingParameters& p) { params_ = p; }
+
+ private:
+  FoulingParameters params_;
+  double bubble_coverage_ = 0.0;
+  double deposit_thickness_ = 0.0;
+};
+
+}  // namespace aqua::maf

@@ -1,0 +1,66 @@
+// package.hpp — the insertion-probe packaging of the prototype (paper Fig. 9):
+// die glued to a ceramic carrier with glob-top over the bonds, housed in a
+// smoothed stainless-steel pipe head. The paper qualifies it against water
+// infiltration, leakage current, corrosion and pressure. This model tracks
+// those degradation mechanisms so the qualification experiment (E9 and the
+// months-long soak of E8) can report them.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace aqua::maf {
+
+struct PackageSpec {
+  /// Sealing quality in [0, 1]: 1 = perfect glob-top/coating (the paper's
+  /// final assembly), lower values model a defective batch.
+  double sealing_quality = 1.0;
+  /// Baseline insulation resistance of a dry, sealed assembly.
+  util::Ohms dry_insulation = util::Ohms{5e9};
+  /// Corrosion susceptibility of exposed contacts (rate scale, 1/s at full
+  /// exposure); stainless + coating makes this tiny when sealed.
+  double corrosion_rate = 1e-7;
+  /// Probe head drag/perturbation coefficient: fraction of the line dynamic
+  /// pressure the smoothed head converts into local turbulence (paper §4:
+  /// "profile has been smoothed to introduce low perturbations").
+  double intrusiveness = 0.03;
+};
+
+class Package {
+ public:
+  Package(const PackageSpec& spec, util::Rng rng);
+
+  /// Advances moisture ingress and corrosion by dt while immersed at the
+  /// given pressure.
+  void step(util::Seconds dt, util::Pascals pressure);
+
+  /// Leakage resistance from the sensor contacts to the water; drops as
+  /// moisture creeps in. A healthy assembly stays in the GΩ range.
+  [[nodiscard]] util::Ohms insulation_resistance() const;
+
+  /// Leakage current at the given bridge supply through the insulation path.
+  [[nodiscard]] util::Amperes leakage_current(util::Volts supply) const;
+
+  /// Accumulated corrosion damage in [0, 1]; above ~0.5 contact resistance
+  /// becomes erratic (flagged by health()).
+  [[nodiscard]] double corrosion() const { return corrosion_; }
+
+  /// Contact series resistance added to the bridge wiring by corrosion.
+  [[nodiscard]] util::Ohms contact_resistance() const;
+
+  [[nodiscard]] bool healthy() const;
+
+  /// Turbulence intensity (relative velocity fluctuation) the probe head adds
+  /// at the sensing elements for a given line speed.
+  [[nodiscard]] double added_turbulence(util::MetresPerSecond speed) const;
+
+  [[nodiscard]] const PackageSpec& spec() const { return spec_; }
+
+ private:
+  PackageSpec spec_;
+  util::Rng rng_;
+  double moisture_ = 0.0;   // 0 dry .. 1 soaked
+  double corrosion_ = 0.0;  // 0 pristine .. 1 destroyed
+};
+
+}  // namespace aqua::maf

@@ -1,0 +1,58 @@
+#include "phys/carbonate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::phys {
+
+using util::Kelvin;
+using util::SquareMetres;
+
+double caco3_solubility_mg_per_l(Kelvin t) {
+  const double tc = util::to_celsius(t);
+  // Effective (CO2-equilibrated) solubility of CaCO3 in potable water,
+  // retrograde with temperature. Anchored so that typical hard tap water
+  // (~250-300 mg/L as CaCO3) sits near saturation at distribution
+  // temperatures and becomes supersaturated on heated walls — the regime the
+  // paper's heater operates in (Eq. 3).
+  return 330.0 * std::exp(-0.022 * (tc - 15.0));
+}
+
+double saturation_ratio(const WaterChemistry& chem, Kelvin wall_temperature) {
+  // The scaling-prone fraction of hardness is limited by carbonate
+  // availability (alkalinity) and boosted/suppressed by pH around 7.5
+  // (carbonate speciation), captured by a logistic factor.
+  const double driving =
+      std::min(chem.hardness_mg_per_l, chem.alkalinity_mg_per_l);
+  const double ph_factor = 1.0 / (1.0 + std::exp(-(chem.ph - 7.0) * 2.0));
+  const double solubility = caco3_solubility_mg_per_l(wall_temperature);
+  return driving * ph_factor / solubility;
+}
+
+double deposit_growth_rate(const ScalingKinetics& kinetics,
+                           const WaterChemistry& chem, Kelvin wall_temperature,
+                           double current_thickness_m) {
+  if (current_thickness_m < 0.0)
+    throw std::invalid_argument("deposit_growth_rate: negative thickness");
+  const double s = saturation_ratio(chem, wall_temperature);
+  if (s >= 1.0) {
+    // Growth slows as the deposit insulates the surface and its own outer face
+    // cools: first-order saturation with a 10 µm characteristic thickness.
+    const double self_limit = std::exp(-current_thickness_m / 10e-6);
+    return kinetics.surface_reactivity * kinetics.growth_rate * (s - 1.0) *
+           self_limit;
+  }
+  // Undersaturated: existing deposit slowly redissolves (never below zero —
+  // the caller clamps thickness).
+  return current_thickness_m > 0.0 ? -kinetics.dissolution_rate * (1.0 - s) : 0.0;
+}
+
+double deposit_thermal_resistance(double thickness_m, SquareMetres area) {
+  if (thickness_m < 0.0 || area.value() <= 0.0)
+    throw std::invalid_argument("deposit_thermal_resistance: bad inputs");
+  constexpr double kCalciteConductivity = 2.2;  // W/(m·K)
+  return thickness_m / (kCalciteConductivity * area.value());
+}
+
+}  // namespace aqua::phys

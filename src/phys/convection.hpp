@@ -1,0 +1,62 @@
+// convection.hpp — forced-convection heat transfer from a thin heated wire in
+// crossflow. This is the physical origin of King's law (paper Eq. 2):
+//
+//   Q = h·A_s·(T_w − T_f),  with  Nu = h·d/k  following the Kramers
+//   correlation  Nu = 0.42·Pr^0.20 + 0.57·Pr^(1/3)·Re^0.50,
+//
+// which expands to  Q = ΔT·(A + B·v^n) with n = 0.5 — King's empirical form.
+// We expose both the instantaneous film coefficient (used by the die thermal
+// model) and the derived King coefficients (used to sanity-check calibration).
+#pragma once
+
+#include "phys/fluid.hpp"
+#include "util/units.hpp"
+
+namespace aqua::phys {
+
+/// Geometry of one heated wire element exposed to the flow.
+struct WireGeometry {
+  util::Metres diameter;  ///< hydraulic diameter of the bridge element
+  util::Metres length;    ///< exposed length
+
+  [[nodiscard]] util::SquareMetres surface_area() const {
+    // Lateral surface of a cylinder; the end faces are attached to the leads.
+    constexpr double kPi = 3.14159265358979323846;
+    return util::SquareMetres{kPi * diameter.value() * length.value()};
+  }
+};
+
+/// Reynolds number rho·v·d/mu for a cylinder of diameter d in crossflow.
+[[nodiscard]] double reynolds(const FluidProperties& fluid,
+                              util::MetresPerSecond speed, util::Metres diameter);
+
+/// Kramers (1946) Nusselt correlation for a heated cylinder in crossflow,
+/// valid for 0.01 < Re < 10^4 over liquids and gases. At Re = 0 it degrades
+/// gracefully to the conduction/natural-convection floor (the 0.42·Pr^0.2
+/// term), which is exactly King's "A" constant.
+[[nodiscard]] double kramers_nusselt(double reynolds_number, double prandtl_number);
+
+/// Film heat-transfer coefficient h = Nu·k/d (W/(m^2·K)). Properties should be
+/// evaluated at the film temperature (T_w + T_f)/2 for best accuracy.
+[[nodiscard]] double film_coefficient(const FluidProperties& fluid,
+                                      util::MetresPerSecond speed,
+                                      const WireGeometry& wire);
+
+/// King's-law coefficients  Q/ΔT = A + B·v^n  derived from the Kramers
+/// correlation for the given fluid state and wire geometry.
+struct KingCoefficients {
+  double a;  ///< W/K — conduction/natural-convection floor
+  double b;  ///< W/(K·(m/s)^n)
+  double n;  ///< velocity exponent (0.5 for Kramers)
+};
+
+[[nodiscard]] KingCoefficients king_coefficients(const FluidProperties& fluid,
+                                                 const WireGeometry& wire);
+
+/// Total convective loss Q = ΔT·(A + B·v^n) in watts.
+[[nodiscard]] util::Watts convective_loss(const FluidProperties& fluid,
+                                          const WireGeometry& wire,
+                                          util::MetresPerSecond speed,
+                                          util::Kelvin overtemperature);
+
+}  // namespace aqua::phys

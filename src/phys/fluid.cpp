@@ -1,0 +1,61 @@
+#include "phys/fluid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::phys {
+
+using util::Kelvin;
+using util::Pascals;
+
+FluidProperties water_properties(Kelvin t) {
+  const double tc = util::to_celsius(t);
+  if (tc < -5.0 || tc > 120.0)
+    throw std::invalid_argument("water_properties: temperature outside fit range");
+  const double tk = t.value();
+
+  // Density: Kell (1975) fit for air-free water at 1 atm, kg/m^3.
+  const double density =
+      1000.0 * (1.0 - (tc + 288.9414) / (508929.2 * (tc + 68.12963)) *
+                          (tc - 3.9863) * (tc - 3.9863));
+
+  // Dynamic viscosity: Vogel–Fulcher–Tammann form (Pa·s), good to ~2 % 0–90 °C.
+  const double viscosity = 2.414e-5 * std::pow(10.0, 247.8 / (tk - 140.0));
+
+  // Thermal conductivity: quadratic fit to IAPWS data, W/(m·K), 0–90 °C.
+  const double conductivity = 0.5706 + 1.756e-3 * tc - 6.46e-6 * tc * tc;
+
+  // Isobaric specific heat: polynomial fit (J/(kg·K)), 0–90 °C.
+  const double cp = 4217.4 - 3.720283 * tc + 0.1412855 * tc * tc -
+                    2.654387e-3 * tc * tc * tc + 2.093236e-5 * tc * tc * tc * tc;
+
+  return FluidProperties{density, viscosity, conductivity, cp};
+}
+
+FluidProperties air_properties(Kelvin t, Pascals p) {
+  const double tk = t.value();
+  if (tk < 200.0 || tk > 500.0)
+    throw std::invalid_argument("air_properties: temperature outside fit range");
+
+  constexpr double kGasConstantAir = 287.05;  // J/(kg·K)
+  const double density = p.value() / (kGasConstantAir * tk);
+
+  // Sutherland's law for viscosity and conductivity.
+  const double viscosity =
+      1.716e-5 * std::pow(tk / 273.15, 1.5) * (273.15 + 110.4) / (tk + 110.4);
+  const double conductivity =
+      0.0241 * std::pow(tk / 273.15, 1.5) * (273.15 + 194.0) / (tk + 194.0);
+
+  constexpr double cp = 1005.0;  // ~constant over the range of interest
+  return FluidProperties{density, viscosity, conductivity, cp};
+}
+
+FluidProperties properties(Medium medium, Kelvin t, Pascals p) {
+  switch (medium) {
+    case Medium::kWater: return water_properties(t);
+    case Medium::kAir: return air_properties(t, p);
+  }
+  throw std::invalid_argument("properties: unknown medium");
+}
+
+}  // namespace aqua::phys

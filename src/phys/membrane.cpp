@@ -1,0 +1,74 @@
+#include "phys/membrane.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::phys {
+
+using util::Metres;
+using util::Pascals;
+using util::SquareMetres;
+
+namespace {
+void validate(const MembraneSpec& spec) {
+  if (spec.side.value() <= 0.0 || spec.thickness.value() <= 0.0)
+    throw std::invalid_argument("MembraneSpec: non-positive geometry");
+}
+constexpr double kCavityDepth = 400e-6;  // KOH-etched through a standard wafer
+}  // namespace
+
+double peak_stress(const MembraneSpec& spec, Pascals pressure) {
+  validate(spec);
+  const double a = 0.5 * spec.side.value();  // half-span
+  const double t = spec.thickness.value();
+  // Clamped square plate, uniform load: sigma_max = 0.308·p·(a/t)². An
+  // unsupported 1 mm × 2 µm stack sees gigapascals already at 1 bar — which
+  // is precisely why the paper fills the backside cavity: the (nearly
+  // incompressible) organic fill carries almost all of the load and the
+  // membrane only bends with the fill's compliance (~2 % residual share).
+  const double load_share = spec.backside_filled ? 0.02 : 1.0;
+  const double bending =
+      0.308 * load_share * std::abs(pressure.value()) * (a / t) * (a / t);
+  return bending;
+}
+
+double pressure_safety_factor(const MembraneSpec& spec, Pascals pressure) {
+  const double total = spec.residual_stress_pa + peak_stress(spec, pressure);
+  return spec.fracture_strength_pa / total;
+}
+
+bool survives(const MembraneSpec& spec, Pascals pressure) {
+  return pressure_safety_factor(spec, pressure) >= 2.0;
+}
+
+double center_deflection(const MembraneSpec& spec, Pascals pressure) {
+  validate(spec);
+  // Clamped square plate small-deflection solution: w0 = 0.00126·p·L⁴/D with
+  // D = E·t³/(12(1−ν²)); SiN-dominated stack E ≈ 250 GPa, ν ≈ 0.23. The
+  // backside fill shares the load when present (stiffening factor ~5).
+  constexpr double kYoung = 250e9, kPoisson = 0.23;
+  const double t = spec.thickness.value();
+  const double d = kYoung * t * t * t / (12.0 * (1.0 - kPoisson * kPoisson));
+  const double l = spec.side.value();
+  double w0 = 0.00126 * std::abs(pressure.value()) * l * l * l * l / d;
+  if (spec.backside_filled) w0 /= 5.0;
+  return w0;
+}
+
+double edge_conductance(const MembraneSpec& spec, Metres heater_length) {
+  validate(spec);
+  // Heat leaves the heater strip through the membrane sheet toward the rim on
+  // both sides: G = 2·k·(w·t)/path, path ≈ half the free span.
+  const double path = 0.5 * (0.5 * spec.side.value());
+  return 2.0 * spec.stack_conductivity * heater_length.value() *
+         spec.thickness.value() / path;
+}
+
+double backside_conductance(const MembraneSpec& spec,
+                            SquareMetres heater_footprint) {
+  validate(spec);
+  const double k = spec.backside_filled ? 0.2 : 0.6;
+  return k * heater_footprint.value() / kCavityDepth;
+}
+
+}  // namespace aqua::phys

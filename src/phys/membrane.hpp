@@ -1,0 +1,54 @@
+// membrane.hpp — mechanics and thermal isolation of the SiN/SiO2/SiN sensor
+// membrane. The paper stresses that (a) the KOH-etched LPCVD stack is only
+// slightly tensile and mechanically stable, (b) the backside cavity is filled
+// with a low-conductivity organic to survive water pressure and suppress
+// backside fluctuations, and (c) the 2 µm stack thermally isolates the wires
+// from the chip edge. Experiment E9 checks the pressure margin; the thermal
+// terms feed the die model.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace aqua::phys {
+
+struct MembraneSpec {
+  util::Metres side = util::micrometres(1000.0);     ///< square membrane edge
+  util::Metres thickness = util::micrometres(2.0);   ///< full stack incl. passivation
+  double residual_stress_pa = 50e6;                  ///< slight tensile (LPCVD)
+  double fracture_strength_pa = 6.0e9;               ///< LPCVD SiN ~6 GPa
+  double stack_conductivity = 2.5;                   ///< W/(m·K), SiN/SiO2 mix
+  double areal_heat_capacity = 4.2e3 * 2.0e-6 * 0.7; ///< J/(m²·K) ≈ ρ·cp·t
+  bool backside_filled = true;                       ///< organic fill (water app)
+};
+
+/// Peak bending+tension stress (Pa) in a clamped square membrane under uniform
+/// differential pressure. Small-deflection plate theory with a membrane-stress
+/// correction; coefficient 0.308 for a clamped square plate.
+[[nodiscard]] double peak_stress(const MembraneSpec& spec, util::Pascals pressure);
+
+/// Safety factor = fracture strength / (residual + pressure-induced stress).
+[[nodiscard]] double pressure_safety_factor(const MembraneSpec& spec,
+                                            util::Pascals pressure);
+
+/// True if the membrane survives the given pressure with margin >= 2
+/// (engineering criterion used by the packaging qualification experiment).
+[[nodiscard]] bool survives(const MembraneSpec& spec, util::Pascals pressure);
+
+/// Center deflection (m) of the clamped square membrane under pressure.
+[[nodiscard]] double center_deflection(const MembraneSpec& spec,
+                                       util::Pascals pressure);
+
+/// In-plane thermal conductance (W/K) from a heater strip of the given length
+/// at the membrane centre to the chip rim (the "edge leak" King's-law A term
+/// competes with). Two parallel half-sheets of width `heater_length`.
+[[nodiscard]] double edge_conductance(const MembraneSpec& spec,
+                                      util::Metres heater_length);
+
+/// Conductance (W/K) through the backside: organic fill if `backside_filled`
+/// (k ≈ 0.2 W/(m·K)), otherwise stagnant water (k ≈ 0.6), over the heater
+/// footprint. The fill being ~3x less conductive than water is exactly why the
+/// paper fills the cavity.
+[[nodiscard]] double backside_conductance(const MembraneSpec& spec,
+                                          util::SquareMetres heater_footprint);
+
+}  // namespace aqua::phys

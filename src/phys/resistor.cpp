@@ -1,0 +1,40 @@
+#include "phys/resistor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::phys {
+
+using util::Kelvin;
+using util::Ohms;
+
+TcrResistor::TcrResistor(const TcrResistorSpec& spec)
+    : spec_(spec), r0_(spec.nominal) {
+  if (spec.nominal.value() <= 0.0)
+    throw std::invalid_argument("TcrResistor: non-positive nominal resistance");
+}
+
+TcrResistor::TcrResistor(const TcrResistorSpec& spec, util::Rng& rng)
+    : TcrResistor(spec) {
+  r0_ += Ohms{rng.uniform(-spec.tolerance.value(), spec.tolerance.value())};
+}
+
+Ohms TcrResistor::resistance(Kelvin t) const {
+  const double dt = t.value() - spec_.reference.value();
+  return Ohms{r0_.value() * (1.0 + spec_.alpha * dt + spec_.beta * dt * dt)};
+}
+
+Kelvin TcrResistor::temperature_for(Ohms r) const {
+  const double ratio = r.value() / r0_.value() - 1.0;
+  if (spec_.beta == 0.0) {
+    return Kelvin{spec_.reference.value() + ratio / spec_.alpha};
+  }
+  // beta·dt² + alpha·dt − ratio = 0; take the physical (smaller-|dt|) root.
+  const double disc = spec_.alpha * spec_.alpha + 4.0 * spec_.beta * ratio;
+  if (disc < 0.0)
+    throw std::invalid_argument("TcrResistor::temperature_for: no real solution");
+  const double dt = (-spec_.alpha + std::sqrt(disc)) / (2.0 * spec_.beta);
+  return Kelvin{spec_.reference.value() + dt};
+}
+
+}  // namespace aqua::phys

@@ -1,0 +1,48 @@
+// resistor.hpp — temperature-dependent thin-film resistor model (paper Eq. 1):
+//   R(T) = R0·(1 + α·(T − T0) + β·(T − T0)²)
+// The MAF die uses Ti/TiN films, which the paper notes show "no drift due to
+// electrical or temperature stress"; a drift term is still modelled so the
+// fouling/aging experiments can inject it.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace aqua::phys {
+
+struct TcrResistorSpec {
+  util::Ohms nominal;             ///< R0 at the reference temperature
+  util::Ohms tolerance;           ///< absolute manufacturing tolerance (± value)
+  util::Kelvin reference;         ///< T0
+  double alpha;                   ///< linear TCR (1/K), Ti ~ 3.5e-3
+  double beta = 0.0;              ///< quadratic TCR (1/K²), small
+};
+
+class TcrResistor {
+ public:
+  /// Constructs with the exact nominal value (no tolerance applied).
+  explicit TcrResistor(const TcrResistorSpec& spec);
+
+  /// Constructs with a tolerance draw from `rng` (uniform within ±tolerance),
+  /// as a production part would arrive.
+  TcrResistor(const TcrResistorSpec& spec, util::Rng& rng);
+
+  /// Resistance at the given absolute element temperature.
+  [[nodiscard]] util::Ohms resistance(util::Kelvin t) const;
+
+  /// Inverts R(T) for the element temperature implied by the given resistance
+  /// (linear term only when beta == 0, quadratic solve otherwise).
+  [[nodiscard]] util::Kelvin temperature_for(util::Ohms r) const;
+
+  /// Permanently shifts R0 by `delta` (aging/stress injection for tests).
+  void apply_drift(util::Ohms delta) { r0_ += delta; }
+
+  [[nodiscard]] util::Ohms r0() const { return r0_; }
+  [[nodiscard]] const TcrResistorSpec& spec() const { return spec_; }
+
+ private:
+  TcrResistorSpec spec_;
+  util::Ohms r0_;
+};
+
+}  // namespace aqua::phys

@@ -1,0 +1,64 @@
+#include "phys/saturation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::phys {
+
+using util::Kelvin;
+using util::Pascals;
+
+Pascals vapour_pressure(Kelvin t) {
+  const double tc = util::to_celsius(t);
+  if (tc < 0.0 || tc > 150.0)
+    throw std::invalid_argument("vapour_pressure: outside Antoine fit range");
+  // Antoine constants for water, 1–100 °C, P in mmHg, T in °C.
+  const double log10_mmhg = 8.07131 - 1730.63 / (233.426 + tc);
+  return Pascals{std::pow(10.0, log10_mmhg) * 133.322};
+}
+
+Kelvin saturation_temperature(Pascals p) {
+  if (p.value() <= 0.0)
+    throw std::invalid_argument("saturation_temperature: non-positive pressure");
+  const double mmhg = p.value() / 133.322;
+  const double tc = 1730.63 / (8.07131 - std::log10(mmhg)) - 233.426;
+  return util::celsius(tc);
+}
+
+double relative_gas_solubility(Kelvin t) {
+  // Air solubility roughly halves between 0 °C and 30 °C; exponential fit
+  // anchored at 25 °C.
+  constexpr double kDecayPerKelvin = 0.025;
+  return std::exp(-kDecayPerKelvin * (t.value() - 298.15));
+}
+
+Kelvin bubble_onset_overtemperature(Kelvin bulk_temperature, Pascals pressure,
+                                    double dissolved_gas_saturation) {
+  if (dissolved_gas_saturation < 0.0)
+    throw std::invalid_argument("bubble_onset: negative gas saturation");
+  constexpr double kDecayPerKelvin = 0.025;
+  // Heterogeneous nucleation needs ~1.5x local supersaturation before bubbles
+  // hold on to the (smooth, passivated) surface.
+  constexpr double kNucleationBarrier = 1.5;
+  constexpr double kAtmosphere = 101325.0;
+
+  double outgassing_onset;
+  if (dissolved_gas_saturation < 1e-6) {
+    outgassing_onset = 1e9;  // fully degassed: no outgassing, only boiling
+  } else {
+    // Gas comes out of solution at the wall once
+    //   sigma > (p/p0)·s(T_wall)/s(T_bulk)·barrier
+    // with s(T) the exponential solubility fit, giving the closed form below.
+    outgassing_onset =
+        std::log(kNucleationBarrier * pressure.value() /
+                 (dissolved_gas_saturation * kAtmosphere)) /
+        kDecayPerKelvin;
+    outgassing_onset = std::max(0.0, outgassing_onset);
+  }
+  const double boiling_onset =
+      saturation_temperature(pressure).value() - bulk_temperature.value();
+  return Kelvin{std::min(outgassing_onset, std::max(0.0, boiling_onset))};
+}
+
+}  // namespace aqua::phys

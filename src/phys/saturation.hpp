@@ -1,0 +1,32 @@
+// saturation.hpp — water vapour pressure / boiling point and dissolved-gas
+// outgassing thresholds. Bubbles on the MAF heater (paper Fig. 7) are not
+// boiling bubbles: at 1–3 bar a wall a few kelvin above ambient outgasses
+// dissolved air, because gas solubility falls steeply with temperature. Both
+// mechanisms are modelled; the fouling model uses whichever onset is lower.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace aqua::phys {
+
+/// Saturated vapour pressure of water (Antoine equation, 1–100 °C).
+[[nodiscard]] util::Pascals vapour_pressure(util::Kelvin t);
+
+/// Boiling temperature at the given absolute pressure (inverse Antoine).
+[[nodiscard]] util::Kelvin saturation_temperature(util::Pascals p);
+
+/// Relative air solubility in water vs 25 °C (dimensionless, falls with T);
+/// Henry's-law temperature dependence for O2/N2 mixtures.
+[[nodiscard]] double relative_gas_solubility(util::Kelvin t);
+
+/// Wall overtemperature (K above the bulk temperature) at which gas bubbles
+/// start to nucleate, for water with the given dissolved-gas saturation
+/// (1.0 = air-saturated at bulk conditions) at absolute pressure p. Higher
+/// pressure re-dissolves gas and raises the onset; degassed water raises it
+/// strongly. Clamped below by 0 (already supersaturated) and above by the
+/// boiling onset.
+[[nodiscard]] util::Kelvin bubble_onset_overtemperature(
+    util::Kelvin bulk_temperature, util::Pascals pressure,
+    double dissolved_gas_saturation = 1.0);
+
+}  // namespace aqua::phys

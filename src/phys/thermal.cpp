@@ -1,0 +1,119 @@
+#include "phys/thermal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::phys {
+
+using util::Kelvin;
+using util::Seconds;
+using util::Watts;
+
+ThermalNetwork::NodeId ThermalNetwork::add_node(double capacitance,
+                                                Kelvin initial) {
+  if (capacitance <= 0.0)
+    throw std::invalid_argument("ThermalNetwork: capacitance must be positive");
+  nodes_.push_back(Node{capacitance, initial.value(), 0.0, false});
+  return nodes_.size() - 1;
+}
+
+ThermalNetwork::NodeId ThermalNetwork::add_boundary(Kelvin temperature) {
+  nodes_.push_back(Node{0.0, temperature.value(), 0.0, true});
+  return nodes_.size() - 1;
+}
+
+ThermalNetwork::EdgeId ThermalNetwork::connect(NodeId a, NodeId b,
+                                               double conductance) {
+  check_node(a);
+  check_node(b);
+  if (conductance < 0.0)
+    throw std::invalid_argument("ThermalNetwork: negative conductance");
+  edges_.push_back(Edge{a, b, conductance});
+  return edges_.size() - 1;
+}
+
+void ThermalNetwork::set_conductance(EdgeId e, double conductance) {
+  if (e >= edges_.size()) throw std::out_of_range("ThermalNetwork: bad edge id");
+  if (conductance < 0.0)
+    throw std::invalid_argument("ThermalNetwork: negative conductance");
+  edges_[e].g = conductance;
+}
+
+double ThermalNetwork::conductance(EdgeId e) const {
+  if (e >= edges_.size()) throw std::out_of_range("ThermalNetwork: bad edge id");
+  return edges_[e].g;
+}
+
+void ThermalNetwork::set_boundary_temperature(NodeId n, Kelvin t) {
+  check_node(n);
+  if (!nodes_[n].boundary)
+    throw std::invalid_argument("ThermalNetwork: node is not a boundary");
+  nodes_[n].temperature = t.value();
+}
+
+void ThermalNetwork::set_power(NodeId n, Watts p) {
+  check_node(n);
+  nodes_[n].power = p.value();
+}
+
+void ThermalNetwork::step(Seconds dt) {
+  const std::size_t n = nodes_.size();
+  sum_g_.assign(n, 0.0);
+  sum_gt_.assign(n, 0.0);
+  for (const Edge& e : edges_) {
+    sum_g_[e.a] += e.g;
+    sum_g_[e.b] += e.g;
+    sum_gt_[e.a] += e.g * nodes_[e.b].temperature;
+    sum_gt_[e.b] += e.g * nodes_[e.a].temperature;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Node& node = nodes_[i];
+    if (node.boundary) continue;
+    if (sum_g_[i] <= 0.0) {
+      // Isolated node: pure integration of injected power.
+      node.temperature += node.power * dt.value() / node.capacitance;
+      continue;
+    }
+    const double t_inf = (sum_gt_[i] + node.power) / sum_g_[i];
+    const double decay = std::exp(-dt.value() * sum_g_[i] / node.capacitance);
+    node.temperature = t_inf + (node.temperature - t_inf) * decay;
+  }
+}
+
+void ThermalNetwork::settle() {
+  // Gauss-Seidel relaxation to the algebraic steady state; the networks used
+  // here are tiny (≤ 8 nodes) and diagonally dominant, so this converges fast.
+  for (int iter = 0; iter < 500; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      Node& node = nodes_[i];
+      if (node.boundary) continue;
+      double g = 0.0, gt = 0.0;
+      for (const Edge& e : edges_) {
+        if (e.a == i) {
+          g += e.g;
+          gt += e.g * nodes_[e.b].temperature;
+        } else if (e.b == i) {
+          g += e.g;
+          gt += e.g * nodes_[e.a].temperature;
+        }
+      }
+      if (g <= 0.0) continue;
+      const double t_new = (gt + node.power) / g;
+      max_delta = std::max(max_delta, std::abs(t_new - node.temperature));
+      node.temperature = t_new;
+    }
+    if (max_delta < 1e-9) break;
+  }
+}
+
+Kelvin ThermalNetwork::temperature(NodeId n) const {
+  check_node(n);
+  return Kelvin{nodes_[n].temperature};
+}
+
+void ThermalNetwork::check_node(NodeId n) const {
+  if (n >= nodes_.size()) throw std::out_of_range("ThermalNetwork: bad node id");
+}
+
+}  // namespace aqua::phys

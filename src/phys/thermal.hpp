@@ -1,0 +1,75 @@
+// thermal.hpp — lumped-parameter thermal network with exponential-Euler
+// stepping. The MAF die model is a stiff system (a ~2 µm membrane element in
+// water has a time constant of tens of microseconds while experiments run for
+// minutes), so each capacitive node is relaxed analytically toward the
+// temperature implied by its neighbours over the step:
+//
+//   T⁺ = T∞ + (T − T∞)·exp(−dt·ΣG/C),  T∞ = (Σ G_i·T_i + P) / ΣG
+//
+// which is unconditionally stable and exact for a single node with frozen
+// neighbours. Conductances may be updated every step (flow-dependent film
+// coefficients, growing deposits).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace aqua::phys {
+
+class ThermalNetwork {
+ public:
+  using NodeId = std::size_t;
+  using EdgeId = std::size_t;
+
+  /// Adds a capacitive node (state variable). Capacitance in J/K.
+  NodeId add_node(double capacitance, util::Kelvin initial);
+
+  /// Adds a boundary node with a prescribed temperature (infinite capacitance).
+  NodeId add_boundary(util::Kelvin temperature);
+
+  /// Connects two nodes with thermal conductance g (W/K). Returns an edge id
+  /// whose conductance can be updated later.
+  EdgeId connect(NodeId a, NodeId b, double conductance);
+
+  void set_conductance(EdgeId e, double conductance);
+  [[nodiscard]] double conductance(EdgeId e) const;
+
+  void set_boundary_temperature(NodeId n, util::Kelvin t);
+
+  /// Sets the power (W) injected into a node for subsequent steps (Joule
+  /// heating of the bridge resistors). Persists until changed.
+  void set_power(NodeId n, util::Watts p);
+
+  /// Advances all capacitive nodes by dt.
+  void step(util::Seconds dt);
+
+  /// Solves the steady state (all capacitive nodes relaxed) in place. Used by
+  /// the quasi-static path of long-duration experiments.
+  void settle();
+
+  [[nodiscard]] util::Kelvin temperature(NodeId n) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    double capacitance;  // J/K; <= 0 marks a boundary node
+    double temperature;  // K
+    double power = 0.0;  // W
+    bool boundary = false;
+  };
+  struct Edge {
+    NodeId a, b;
+    double g;
+  };
+
+  void check_node(NodeId n) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<double> sum_g_;      // scratch: ΣG per node
+  std::vector<double> sum_gt_;     // scratch: ΣG·T per node
+};
+
+}  // namespace aqua::phys

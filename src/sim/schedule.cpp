@@ -1,0 +1,93 @@
+#include "sim/schedule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::sim {
+
+using util::Hertz;
+using util::Seconds;
+
+Schedule::Schedule(double initial) : initial_(initial) {}
+
+void Schedule::append(Kind kind, double end_value, Seconds duration,
+                      double amplitude, double omega) {
+  if (duration.value() < 0.0)
+    throw std::invalid_argument("Schedule: negative segment duration");
+  const double t0 = segments_.empty() ? 0.0 : segments_.back().t_end;
+  const double v0 = final_value();
+  segments_.push_back(Segment{kind, v0, end_value, t0, t0 + duration.value(),
+                              amplitude, omega});
+}
+
+Schedule& Schedule::hold(Seconds duration) {
+  append(Kind::kHold, final_value(), duration);
+  return *this;
+}
+
+Schedule& Schedule::step_to(double value, Seconds duration) {
+  append(Kind::kHold, value, duration);
+  segments_.back().start_value = value;
+  return *this;
+}
+
+Schedule& Schedule::ramp_to(double value, Seconds duration) {
+  append(Kind::kRamp, value, duration);
+  return *this;
+}
+
+Schedule& Schedule::sine(double amplitude, Hertz frequency, Seconds duration) {
+  constexpr double kTwoPi = 6.283185307179586;
+  append(Kind::kSine, final_value(), duration, amplitude,
+         kTwoPi * frequency.value());
+  return *this;
+}
+
+Schedule& Schedule::staircase(std::span<const double> levels, Seconds dwell) {
+  for (double level : levels) step_to(level, dwell);
+  return *this;
+}
+
+double Schedule::at(Seconds t) const {
+  const double tt = t.value();
+  if (segments_.empty() || tt <= 0.0) return initial_;
+  for (const Segment& s : segments_) {
+    if (tt > s.t_end) continue;
+    switch (s.kind) {
+      case Kind::kHold:
+        return s.end_value;
+      case Kind::kRamp: {
+        const double span = s.t_end - s.t_begin;
+        if (span <= 0.0) return s.end_value;
+        const double f = (tt - s.t_begin) / span;
+        return s.start_value + f * (s.end_value - s.start_value);
+      }
+      case Kind::kSine:
+        return s.end_value + s.amplitude * std::sin(s.omega * (tt - s.t_begin));
+    }
+  }
+  return segments_.back().end_value;
+}
+
+Seconds Schedule::duration() const {
+  return Seconds{segments_.empty() ? 0.0 : segments_.back().t_end};
+}
+
+double Schedule::final_value() const {
+  return segments_.empty() ? initial_ : segments_.back().end_value;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  if (count == 0) throw std::invalid_argument("linspace: count must be > 0");
+  std::vector<double> out(count);
+  if (count == 1) {
+    out[0] = lo;
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = lo + step * static_cast<double>(i);
+  return out;
+}
+
+}  // namespace aqua::sim

@@ -1,0 +1,66 @@
+// schedule.hpp — piecewise setpoint profiles. Experiments describe the test
+// line as a timeline: "hold 50 cm/s for 20 s, ramp to 250 cm/s over 60 s,
+// pressure pulse to 7 bar". A Schedule is a pure function of time built from
+// such segments; actuator dynamics (valve lag, turbulence) are applied by the
+// hydro layer on top.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace aqua::sim {
+
+class Schedule {
+ public:
+  /// Starts the profile at `initial` (value before any segment, and the ramp
+  /// origin of the first segment).
+  explicit Schedule(double initial = 0.0);
+
+  /// Holds the current end value for `duration`.
+  Schedule& hold(util::Seconds duration);
+  /// Steps immediately to `value` and holds it for `duration`.
+  Schedule& step_to(double value, util::Seconds duration);
+  /// Ramps linearly from the current end value to `value` over `duration`.
+  Schedule& ramp_to(double value, util::Seconds duration);
+  /// Sinusoid of `amplitude` and `frequency` superposed on the current end
+  /// value for `duration`.
+  Schedule& sine(double amplitude, util::Hertz frequency, util::Seconds duration);
+
+  /// Appends a staircase visiting each level for `dwell` (steps, no ramps).
+  Schedule& staircase(std::span<const double> levels, util::Seconds dwell);
+
+  /// Value at absolute time t (clamped: before 0 -> initial, after the end ->
+  /// final value).
+  [[nodiscard]] double at(util::Seconds t) const;
+
+  /// Total duration of all segments.
+  [[nodiscard]] util::Seconds duration() const;
+
+  /// Final value of the profile.
+  [[nodiscard]] double final_value() const;
+
+ private:
+  enum class Kind { kHold, kRamp, kSine };
+  struct Segment {
+    Kind kind;
+    double start_value;
+    double end_value;
+    double t_begin;
+    double t_end;
+    double amplitude = 0.0;
+    double omega = 0.0;
+  };
+
+  void append(Kind kind, double end_value, util::Seconds duration,
+              double amplitude = 0.0, double omega = 0.0);
+
+  double initial_;
+  std::vector<Segment> segments_;
+};
+
+/// Convenience: evenly spaced staircase levels from lo to hi inclusive.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+}  // namespace aqua::sim

@@ -1,0 +1,85 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace aqua::sim {
+
+using util::Seconds;
+
+Trace::Trace(std::size_t stride) : stride_(stride == 0 ? 1 : stride) {}
+
+void Trace::record(const std::string& channel, Seconds t, double value) {
+  Channel& ch = channels_[channel];
+  if (ch.counter++ % stride_ == 0) {
+    ch.t.push_back(t.value());
+    ch.v.push_back(value);
+  }
+}
+
+bool Trace::has(const std::string& channel) const {
+  return channels_.count(channel) != 0;
+}
+
+const Trace::Channel& Trace::channel_or_throw(const std::string& name) const {
+  const auto it = channels_.find(name);
+  if (it == channels_.end())
+    throw std::out_of_range("Trace: unknown channel '" + name + "'");
+  return it->second;
+}
+
+std::span<const double> Trace::times(const std::string& channel) const {
+  return channel_or_throw(channel).t;
+}
+
+std::span<const double> Trace::values(const std::string& channel) const {
+  return channel_or_throw(channel).v;
+}
+
+std::vector<std::string> Trace::channels() const {
+  std::vector<std::string> names;
+  names.reserve(channels_.size());
+  for (const auto& [name, _] : channels_) names.push_back(name);
+  return names;
+}
+
+std::size_t Trace::size(const std::string& channel) const {
+  return channel_or_throw(channel).v.size();
+}
+
+double Trace::back(const std::string& channel) const {
+  const Channel& ch = channel_or_throw(channel);
+  if (ch.v.empty()) throw std::out_of_range("Trace: channel empty");
+  return ch.v.back();
+}
+
+double Trace::mean_between(const std::string& channel, Seconds t0,
+                           Seconds t1) const {
+  const Channel& ch = channel_or_throw(channel);
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < ch.t.size(); ++i) {
+    if (ch.t[i] >= t0.value() && ch.t[i] <= t1.value()) {
+      acc += ch.v[i];
+      ++n;
+    }
+  }
+  if (n == 0) throw std::out_of_range("Trace: no samples in window");
+  return acc / static_cast<double>(n);
+}
+
+void Trace::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Trace: cannot open " + path);
+  for (const auto& [name, ch] : channels_) {
+    out << "t_" << name << "," << name;
+    out << '\n';
+    for (std::size_t i = 0; i < ch.t.size(); ++i)
+      out << ch.t[i] << ',' << ch.v[i] << '\n';
+    out << '\n';
+  }
+}
+
+void Trace::clear() { channels_.clear(); }
+
+}  // namespace aqua::sim

@@ -1,0 +1,55 @@
+// trace.hpp — time-series recorder for experiments. Channels are registered by
+// name; samples may be decimated on capture (experiments run at hundreds of
+// kilohertz but reports need hundreds of points). Traces can be dumped as CSV
+// for plotting Fig.-11-style series.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace aqua::sim {
+
+class Trace {
+ public:
+  /// `stride` keeps every stride-th sample per channel (1 = keep all).
+  explicit Trace(std::size_t stride = 1);
+
+  void record(const std::string& channel, util::Seconds t, double value);
+
+  [[nodiscard]] bool has(const std::string& channel) const;
+  [[nodiscard]] std::span<const double> times(const std::string& channel) const;
+  [[nodiscard]] std::span<const double> values(const std::string& channel) const;
+  [[nodiscard]] std::vector<std::string> channels() const;
+  [[nodiscard]] std::size_t size(const std::string& channel) const;
+
+  /// Last recorded value of a channel (throws if empty).
+  [[nodiscard]] double back(const std::string& channel) const;
+
+  /// Mean of the samples of `channel` with time in [t0, t1].
+  [[nodiscard]] double mean_between(const std::string& channel, util::Seconds t0,
+                                    util::Seconds t1) const;
+
+  /// Writes all channels resampled on the union of their sample times is not
+  /// attempted; channels are written as (time, value) column pairs.
+  void write_csv(const std::string& path) const;
+
+  void clear();
+
+ private:
+  struct Channel {
+    std::vector<double> t;
+    std::vector<double> v;
+    std::size_t counter = 0;
+  };
+  const Channel& channel_or_throw(const std::string& name) const;
+
+  std::size_t stride_;
+  std::map<std::string, Channel> channels_;
+};
+
+}  // namespace aqua::sim

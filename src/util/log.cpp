@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace aqua::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug] ";
+    case LogLevel::kInfo: return "[info ] ";
+    case LogLevel::kWarn: return "[warn ] ";
+    case LogLevel::kError: return "[error] ";
+    case LogLevel::kOff: return "";
+  }
+  return "";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::cerr << prefix(level) << message << '\n';
+}
+
+}  // namespace aqua::util

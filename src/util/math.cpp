@@ -1,0 +1,127 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::util {
+
+double polyval(std::span<const double> coeffs, double x) {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+double interp1(std::span<const double> x, std::span<const double> y, double xq) {
+  if (x.empty() || x.size() != y.size())
+    throw std::invalid_argument("interp1: bad knot arrays");
+  if (xq <= x.front()) return y.front();
+  if (xq >= x.back()) return y.back();
+  const auto it = std::upper_bound(x.begin(), x.end(), xq);
+  const std::size_t hi = static_cast<std::size_t>(it - x.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (xq - x[lo]) / (x[hi] - x[lo]);
+  return y[lo] + t * (y[hi] - y[lo]);
+}
+
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  if (a.size() != n * n) throw std::invalid_argument("solve_linear: shape mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r * n + col]) > std::abs(a[pivot * n + col])) pivot = r;
+    if (std::abs(a[pivot * n + col]) < 1e-14)
+      throw std::invalid_argument("solve_linear: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[pivot * n + c], a[col * n + c]);
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] / a[col * n + col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double acc = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) acc -= a[r * n + c] * x[c];
+    x[r] = acc / a[r * n + r];
+  }
+  return x;
+}
+
+std::vector<double> least_squares(std::span<const double> x_rowmajor,
+                                  std::span<const double> y, std::size_t cols) {
+  if (cols == 0 || x_rowmajor.size() != y.size() * cols)
+    throw std::invalid_argument("least_squares: shape mismatch");
+  const std::size_t rows = y.size();
+  // Normal equations: (XᵀX) beta = Xᵀy.
+  std::vector<double> xtx(cols * cols, 0.0);
+  std::vector<double> xty(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = &x_rowmajor[r * cols];
+    for (std::size_t i = 0; i < cols; ++i) {
+      xty[i] += row[i] * y[r];
+      for (std::size_t j = 0; j < cols; ++j) xtx[i * cols + j] += row[i] * row[j];
+    }
+  }
+  return solve_linear(std::move(xtx), std::move(xty));
+}
+
+double golden_minimize(const std::function<double(double)>& f, double lo,
+                       double hi, double tol) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c), fd = f(d);
+  while (b - a > tol) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol) {
+  double flo = f(lo), fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0.0) == (fhi > 0.0))
+    throw std::invalid_argument("bisect: no sign change on interval");
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (fm == 0.0) return mid;
+    if ((fm > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double remap_clamped(double x, double in_lo, double in_hi, double out_lo,
+                     double out_hi) {
+  const double t = std::clamp((x - in_lo) / (in_hi - in_lo), 0.0, 1.0);
+  return out_lo + t * (out_hi - out_lo);
+}
+
+}  // namespace aqua::util

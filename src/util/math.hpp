@@ -1,0 +1,44 @@
+// math.hpp — small numerical toolbox shared across modules: polynomial
+// evaluation, linear least squares (tiny dense solver), 1-D minimisation and
+// root bracketing, interpolation.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace aqua::util {
+
+/// Horner evaluation of c[0] + c[1]x + c[2]x^2 + ...
+[[nodiscard]] double polyval(std::span<const double> coeffs, double x);
+
+/// Linear interpolation of y over strictly increasing knots x; clamps outside.
+[[nodiscard]] double interp1(std::span<const double> x, std::span<const double> y,
+                             double xq);
+
+/// Solves the dense linear system A·x = b in place (partial-pivot Gaussian
+/// elimination). A is row-major n×n. Throws std::invalid_argument on a
+/// (numerically) singular matrix.
+[[nodiscard]] std::vector<double> solve_linear(std::vector<double> a,
+                                               std::vector<double> b);
+
+/// Ordinary least squares: finds beta minimising |X·beta − y|² where X is
+/// row-major with `cols` columns. Solves the normal equations; fine for the
+/// small, well-conditioned fits used here (2–4 parameters).
+[[nodiscard]] std::vector<double> least_squares(std::span<const double> x_rowmajor,
+                                                std::span<const double> y,
+                                                std::size_t cols);
+
+/// Golden-section minimisation of a unimodal f over [lo, hi].
+[[nodiscard]] double golden_minimize(const std::function<double(double)>& f,
+                                     double lo, double hi, double tol = 1e-9);
+
+/// Bisection root of f on [lo, hi]; requires a sign change.
+[[nodiscard]] double bisect(const std::function<double(double)>& f, double lo,
+                            double hi, double tol = 1e-12);
+
+/// Clamped linear map of x from [in_lo, in_hi] to [out_lo, out_hi].
+[[nodiscard]] double remap_clamped(double x, double in_lo, double in_hi,
+                                   double out_lo, double out_hi);
+
+}  // namespace aqua::util

@@ -1,0 +1,109 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace aqua::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+SlidingWindowStats::SlidingWindowStats(std::size_t capacity)
+    : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("SlidingWindowStats: capacity 0");
+}
+
+void SlidingWindowStats::add(double x) {
+  buf_.push_back(x);
+  sum_ += x;
+  sumsq_ += x * x;
+  if (buf_.size() > capacity_) {
+    const double old = buf_.front();
+    buf_.pop_front();
+    sum_ -= old;
+    sumsq_ -= old * old;
+  }
+}
+
+double SlidingWindowStats::mean() const {
+  return buf_.empty() ? 0.0 : sum_ / static_cast<double>(buf_.size());
+}
+
+double SlidingWindowStats::stddev() const {
+  const auto n = static_cast<double>(buf_.size());
+  if (n < 2) return 0.0;
+  const double m = sum_ / n;
+  // Rounding can push the running sums negative for near-constant windows.
+  const double var = std::max(0.0, (sumsq_ - n * m * m) / (n - 1.0));
+  return std::sqrt(var);
+}
+
+double SlidingWindowStats::min() const {
+  return buf_.empty() ? 0.0 : *std::min_element(buf_.begin(), buf_.end());
+}
+
+double SlidingWindowStats::max() const {
+  return buf_.empty() ? 0.0 : *std::max_element(buf_.begin(), buf_.end());
+}
+
+double correlation(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.size() < 2)
+    throw std::invalid_argument("correlation: need two equal series, n >= 2");
+  const auto n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma, db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  const double denom = std::sqrt(saa * sbb);
+  return denom > 0.0 ? sab / denom : 0.0;
+}
+
+double rms(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x * x;
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double quantile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty series");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = std::clamp(p, 0.0, 1.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double t = pos - static_cast<double>(lo);
+  return sorted[lo] + t * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace aqua::util

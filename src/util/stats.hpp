@@ -1,0 +1,63 @@
+// stats.hpp — streaming statistics used for resolution/repeatability reporting.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+
+namespace aqua::util {
+
+/// Welford online accumulator: mean, variance, min, max over a stream.
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (n−1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  /// Half the peak-to-peak spread — the "±" resolution figure the paper quotes.
+  [[nodiscard]] double half_span() const { return 0.5 * (max_ - min_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-length sliding window with mean/stddev/min/max over the window.
+class SlidingWindowStats {
+ public:
+  explicit SlidingWindowStats(std::size_t capacity);
+
+  void add(double x);
+  [[nodiscard]] bool full() const { return buf_.size() == capacity_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+  double sumsq_ = 0.0;
+};
+
+/// Pearson correlation of two equal-length series.
+[[nodiscard]] double correlation(std::span<const double> a, std::span<const double> b);
+
+/// Root-mean-square of a series.
+[[nodiscard]] double rms(std::span<const double> xs);
+
+/// p-quantile (0..1) of a series by linear interpolation on the sorted copy.
+[[nodiscard]] double quantile(std::span<const double> xs, double p);
+
+}  // namespace aqua::util

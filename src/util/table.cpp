@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace aqua::util {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::columns(std::vector<std::string> names) {
+  cols_ = std::move(names);
+  return *this;
+}
+
+Table& Table::precision(int digits) {
+  precision_ = digits;
+  return *this;
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (!cols_.empty() && cells.size() != cols_.size())
+    throw std::invalid_argument("Table::add_row: width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(cols_.size(), 0);
+  for (std::size_t i = 0; i < cols_.size(); ++i) widths[i] = cols_[i].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(format_cell(row[i]));
+      if (i < widths.size()) widths[i] = std::max(widths[i], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  const auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  rule();
+  os << '|';
+  for (std::size_t i = 0; i < cols_.size(); ++i)
+    os << ' ' << std::left << std::setw(static_cast<int>(widths[i])) << cols_[i] << " |";
+  os << '\n';
+  rule();
+  for (const auto& r : rendered) {
+    os << '|';
+    for (std::size_t i = 0; i < r.size(); ++i)
+      os << ' ' << std::right << std::setw(static_cast<int>(widths[i])) << r[i] << " |";
+    os << '\n';
+  }
+  rule();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Table::write_csv: cannot open " + path);
+  const auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    return q + "\"";
+  };
+  for (std::size_t i = 0; i < cols_.size(); ++i)
+    out << escape(cols_[i]) << (i + 1 < cols_.size() ? "," : "\n");
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      out << escape(format_cell(row[i])) << (i + 1 < row.size() ? "," : "\n");
+  }
+}
+
+}  // namespace aqua::util

@@ -1,0 +1,79 @@
+#include "analog/bridge.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqua::analog {
+namespace {
+
+using util::ohms;
+using util::volts;
+
+TEST(Bridge, BalancedBridgeHasZeroDifferential) {
+  const BridgeArms arms{ohms(100.0), ohms(50.0), ohms(2000.0), ohms(1000.0)};
+  const auto sol = solve_bridge(arms, volts(5.0));
+  EXPECT_NEAR(sol.differential.value(), 0.0, 1e-12);
+}
+
+TEST(Bridge, TapVoltagesAreDividers) {
+  const BridgeArms arms{ohms(50.0), ohms(50.0), ohms(2000.0), ohms(2000.0)};
+  const auto sol = solve_bridge(arms, volts(4.0));
+  EXPECT_DOUBLE_EQ(sol.v_tap_a.value(), 2.0);
+  EXPECT_DOUBLE_EQ(sol.v_tap_b.value(), 2.0);
+}
+
+TEST(Bridge, HeaterResistanceAboveBalanceGivesPositiveError) {
+  // Rh grew (heater hot) → tap A rises above tap B.
+  const BridgeArms arms{ohms(100.0), ohms(51.0), ohms(2000.0), ohms(1000.0)};
+  const auto sol = solve_bridge(arms, volts(5.0));
+  EXPECT_GT(sol.differential.value(), 0.0);
+}
+
+TEST(Bridge, ArmCurrentsOhmsLaw) {
+  const BridgeArms arms{ohms(60.0), ohms(40.0), ohms(3000.0), ohms(1000.0)};
+  const auto sol = solve_bridge(arms, volts(10.0));
+  EXPECT_DOUBLE_EQ(sol.i_arm_a.value(), 0.1);
+  EXPECT_DOUBLE_EQ(sol.i_arm_b.value(), 0.0025);
+}
+
+TEST(Bridge, PowersAreIsquaredR) {
+  const BridgeArms arms{ohms(50.0), ohms(50.0), ohms(2000.0), ohms(2000.0)};
+  const auto sol = solve_bridge(arms, volts(2.0));
+  EXPECT_DOUBLE_EQ(sol.p_bot_a.value(), 0.02 * 0.02 * 50.0);
+  EXPECT_DOUBLE_EQ(sol.p_bot_b.value(), 0.0005 * 0.0005 * 2000.0);
+}
+
+TEST(Bridge, PowerScalesWithSupplySquared) {
+  const BridgeArms arms{ohms(50.0), ohms(50.0), ohms(2000.0), ohms(2000.0)};
+  const auto p1 = solve_bridge(arms, volts(1.0)).p_bot_a.value();
+  const auto p3 = solve_bridge(arms, volts(3.0)).p_bot_a.value();
+  EXPECT_NEAR(p3 / p1, 9.0, 1e-12);
+}
+
+TEST(Bridge, ZeroSupplyAllZero) {
+  const BridgeArms arms{ohms(50.0), ohms(50.0), ohms(2000.0), ohms(2000.0)};
+  const auto sol = solve_bridge(arms, volts(0.0));
+  EXPECT_DOUBLE_EQ(sol.differential.value(), 0.0);
+  EXPECT_DOUBLE_EQ(sol.p_bot_a.value(), 0.0);
+}
+
+TEST(Bridge, RejectsNonPositiveArms) {
+  const BridgeArms bad{ohms(0.0), ohms(50.0), ohms(2000.0), ohms(2000.0)};
+  EXPECT_THROW((void)solve_bridge(bad, volts(1.0)), std::invalid_argument);
+}
+
+TEST(BalancingTopResistor, BalancesByConstruction) {
+  const auto top_a = balancing_top_resistor(ohms(50.8), ohms(2000.0),
+                                            ohms(1967.0));
+  const BridgeArms arms{top_a, ohms(50.8), ohms(2000.0), ohms(1967.0)};
+  const auto sol = solve_bridge(arms, volts(5.0));
+  EXPECT_NEAR(sol.differential.value(), 0.0, 1e-12);
+}
+
+TEST(BalancingTopResistor, Validation) {
+  EXPECT_THROW(
+      (void)balancing_top_resistor(ohms(0.0), ohms(1.0), ohms(1.0)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::analog

@@ -1,0 +1,106 @@
+#include "analog/dac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqua::analog {
+namespace {
+
+using util::Rng;
+using util::Seconds;
+using util::volts;
+
+ThermometerDacSpec ideal_spec(int bits = 12) {
+  ThermometerDacSpec s;
+  s.bits = bits;
+  s.full_scale = volts(4.0);
+  s.element_mismatch_sigma = 0.0;
+  s.settling_tau = Seconds{0.0};
+  return s;
+}
+
+TEST(ThermometerDac, IdealTransferEndpoints) {
+  ThermometerDac dac{ideal_spec(), Rng{1}};
+  dac.write_code(0);
+  EXPECT_DOUBLE_EQ(dac.static_output().value(), 0.0);
+  dac.write_code(dac.max_code());
+  EXPECT_NEAR(dac.static_output().value(), 4.0, 1e-12);
+}
+
+TEST(ThermometerDac, MidCodeHalfScale) {
+  ThermometerDac dac{ideal_spec(), Rng{1}};
+  dac.write_code(2048);
+  EXPECT_NEAR(dac.static_output().value(), 4.0 * 2048.0 / 4095.0, 1e-12);
+}
+
+TEST(ThermometerDac, CodeClamped) {
+  ThermometerDac dac{ideal_spec(), Rng{1}};
+  dac.write_code(99999);
+  EXPECT_EQ(dac.code(), 4095);
+  dac.write_code(-5);
+  EXPECT_EQ(dac.code(), 0);
+}
+
+TEST(ThermometerDac, WriteVoltagePicksNearestCode) {
+  ThermometerDac dac{ideal_spec(), Rng{1}};
+  dac.write_voltage(volts(2.0));
+  EXPECT_NEAR(dac.static_output().value(), 2.0, 4.0 / 4095.0);
+}
+
+TEST(ThermometerDac, MonotonicDespiteMismatch) {
+  // Thermometer coding guarantees monotonicity even with big mismatch.
+  ThermometerDacSpec s = ideal_spec(10);
+  s.element_mismatch_sigma = 0.05;
+  ThermometerDac dac{s, Rng{7}};
+  double prev = -1.0;
+  for (int code = 0; code <= dac.max_code(); ++code) {
+    dac.write_code(code);
+    const double v = dac.static_output().value();
+    EXPECT_GE(v, prev) << "code " << code;
+    prev = v;
+  }
+}
+
+TEST(ThermometerDac, InlBoundedForSpecMismatch) {
+  ThermometerDacSpec s = ideal_spec(12);
+  s.element_mismatch_sigma = 2e-4;
+  ThermometerDac dac{s, Rng{9}};
+  double worst = 0.0;
+  for (int code = 0; code <= dac.max_code(); code += 13)
+    worst = std::max(worst, std::abs(dac.inl_lsb(code)));
+  EXPECT_LT(worst, 0.5);  // well-behaved 12-bit part
+  // And a zero-mismatch part has (numerically) zero INL.
+  ThermometerDac perfect{ideal_spec(), Rng{1}};
+  EXPECT_NEAR(perfect.inl_lsb(1234), 0.0, 1e-9);
+}
+
+TEST(ThermometerDac, SettlingFollowsFirstOrderLag) {
+  ThermometerDacSpec s = ideal_spec();
+  s.settling_tau = Seconds{1e-6};
+  ThermometerDac dac{s, Rng{1}};
+  dac.write_code(4095);
+  const double v1 = dac.step(Seconds{1e-6}).value();  // one tau
+  EXPECT_NEAR(v1, 4.0 * (1.0 - std::exp(-1.0)), 1e-6);
+  for (int i = 0; i < 20; ++i) (void)dac.step(Seconds{1e-6});
+  EXPECT_NEAR(dac.step(Seconds{1e-6}).value(), 4.0, 1e-6);
+}
+
+TEST(ThermometerDac, TenBitVariant) {
+  ThermometerDac dac{ideal_spec(10), Rng{1}};
+  EXPECT_EQ(dac.max_code(), 1023);
+  dac.write_code(512);
+  EXPECT_NEAR(dac.static_output().value(), 4.0 * 512.0 / 1023.0, 1e-12);
+}
+
+TEST(ThermometerDac, Validation) {
+  ThermometerDacSpec bad = ideal_spec();
+  bad.bits = 2;
+  EXPECT_THROW((ThermometerDac{bad, Rng{1}}), std::invalid_argument);
+  bad = ideal_spec();
+  bad.full_scale = volts(0.0);
+  EXPECT_THROW((ThermometerDac{bad, Rng{1}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::analog

@@ -1,0 +1,73 @@
+#include "baseline/magmeter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace aqua::baseline {
+namespace {
+
+using util::metres_per_second;
+using util::Rng;
+using util::Seconds;
+
+TEST(MagMeter, EmfIsFaraday) {
+  MagMeter m{MagMeterSpec{}, Rng{1}};
+  // U = B·D·v = 5e-3 · 0.08 · 1.0.
+  EXPECT_NEAR(m.emf(metres_per_second(1.0)).value(), 4e-4, 1e-9);
+  EXPECT_NEAR(m.emf(metres_per_second(-1.0)).value(), -4e-4, 1e-9);
+}
+
+TEST(MagMeter, TracksStepWithinResponseTime) {
+  MagMeter m{MagMeterSpec{}, Rng{2}};
+  double reading = 0.0;
+  for (int i = 0; i < 600; ++i)  // 6 s at 10 ms steps
+    reading = m.step(metres_per_second(1.5), Seconds{0.01}).value();
+  EXPECT_NEAR(reading, 1.5, 0.02);
+}
+
+TEST(MagMeter, AccuracyWithinHalfPercentFs) {
+  // The Promag-50-class spec the paper quotes: resolution < ±0.5 % FS.
+  MagMeter m{MagMeterSpec{}, Rng{3}};
+  util::RunningStats stats;
+  for (int i = 0; i < 3000; ++i) {
+    const double r = m.step(metres_per_second(1.0), Seconds{0.01}).value();
+    if (i > 1000) stats.add(r);
+  }
+  const double fs = 2.5;
+  EXPECT_LT(std::abs(stats.mean() - 1.0) / fs, 0.005);
+  EXPECT_LT(stats.stddev() / fs, 0.005);
+}
+
+TEST(MagMeter, ReadsBidirectionally) {
+  MagMeter m{MagMeterSpec{}, Rng{4}};
+  double reading = 0.0;
+  for (int i = 0; i < 600; ++i)
+    reading = m.step(metres_per_second(-0.8), Seconds{0.01}).value();
+  EXPECT_NEAR(reading, -0.8, 0.03);
+}
+
+TEST(MagMeter, OutputUpdatesAtExcitationCadence) {
+  MagMeter m{MagMeterSpec{}, Rng{5}};
+  // Prime to steady state.
+  for (int i = 0; i < 1000; ++i)
+    (void)m.step(metres_per_second(1.0), Seconds{0.01});
+  // Within one excitation period (80 ms at 12.5 Hz) the reading is held.
+  const double r1 = m.step(metres_per_second(2.0), Seconds{0.001}).value();
+  const double r2 = m.step(metres_per_second(2.0), Seconds{0.001}).value();
+  EXPECT_DOUBLE_EQ(r1, r2);
+}
+
+TEST(MagMeter, SpecRecordMatchesPaperComparison) {
+  MagMeter m{MagMeterSpec{}, Rng{6}};
+  const MeterSpec& spec = m.meter_spec();
+  EXPECT_FALSE(spec.moving_parts);
+  EXPECT_TRUE(spec.intrusive);
+  EXPECT_DOUBLE_EQ(spec.resolution_percent_fs, 0.5);
+  EXPECT_GT(spec.relative_cost, 10.0);  // "more than one order of magnitude"
+}
+
+}  // namespace
+}  // namespace aqua::baseline

@@ -1,0 +1,93 @@
+#include "baseline/turbine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqua::baseline {
+namespace {
+
+using util::metres_per_second;
+using util::Rng;
+using util::Seconds;
+
+double settled_reading(TurbineMeter& m, double v, int steps = 3000) {
+  double r = 0.0;
+  for (int i = 0; i < steps; ++i)
+    r = m.step(metres_per_second(v), Seconds{0.005}).value();
+  return r;
+}
+
+TEST(Turbine, ReadsMidRangeAccurately) {
+  TurbineMeter m{TurbineSpec{}, Rng{1}};
+  const double r = settled_reading(m, 1.0);
+  EXPECT_NEAR(r, 1.0, 0.03);
+}
+
+TEST(Turbine, StallsBelowCutoff) {
+  // The classic turbine failure the paper's MEMS sensor avoids: below the
+  // breakaway velocity the wheel reads exactly zero.
+  TurbineMeter m{TurbineSpec{}, Rng{2}};
+  const double v_stall = m.stall_velocity().value();
+  EXPECT_GT(v_stall, 0.05);
+  EXPECT_LT(v_stall, 0.3);
+  const double r = settled_reading(m, 0.5 * v_stall);
+  EXPECT_DOUBLE_EQ(r, 0.0);
+  EXPECT_TRUE(m.stalled());
+}
+
+TEST(Turbine, SpinsAboveCutoff) {
+  TurbineMeter m{TurbineSpec{}, Rng{3}};
+  const double v = 2.0 * m.stall_velocity().value();
+  const double r = settled_reading(m, v);
+  EXPECT_GT(r, 0.5 * v);
+  EXPECT_FALSE(m.stalled());
+}
+
+TEST(Turbine, RotorInertiaDelaysResponse) {
+  TurbineMeter m{TurbineSpec{}, Rng{4}};
+  const double first = m.step(metres_per_second(1.0), Seconds{0.005}).value();
+  EXPECT_LT(first, 0.3);  // cannot jump to 1.0 instantly
+}
+
+TEST(Turbine, ReversesWithFlow) {
+  TurbineMeter m{TurbineSpec{}, Rng{5}};
+  const double r = settled_reading(m, -1.0);
+  EXPECT_NEAR(r, -1.0, 0.05);
+}
+
+TEST(Turbine, BearingWearAccumulatesAndRaisesStall) {
+  TurbineMeter m{TurbineSpec{}, Rng{6}};
+  const double stall_new = m.stall_velocity().value();
+  // Spin hard for a long simulated time to accumulate revolutions.
+  for (int i = 0; i < 200000; ++i)
+    (void)m.step(metres_per_second(2.5), Seconds{0.1});
+  EXPECT_GT(m.total_revolutions(), 1e5);
+  EXPECT_GT(m.wear_factor(), 1.0);
+  EXPECT_GT(m.stall_velocity().value(), stall_new);
+}
+
+TEST(Turbine, SpecRecordMatchesPaperComparison) {
+  TurbineMeter m{TurbineSpec{}, Rng{7}};
+  const MeterSpec& spec = m.meter_spec();
+  EXPECT_TRUE(spec.moving_parts);  // the reliability argument of §5
+  EXPECT_TRUE(spec.intrusive);
+  EXPECT_GT(spec.relative_cost, 1.0);
+}
+
+class TurbineLinearity : public ::testing::TestWithParam<double> {};
+
+TEST_P(TurbineLinearity, ReadingWithinTolerance) {
+  TurbineMeter m{TurbineSpec{}, Rng{8}};
+  const double v = GetParam();
+  const double r = settled_reading(m, v);
+  // Turbines under-read near the low end (friction slip) — allow for it.
+  EXPECT_NEAR(r, v, 0.05 * v + 0.035);
+  EXPECT_LE(r, v + 0.02);  // friction never makes it over-read
+}
+
+INSTANTIATE_TEST_SUITE_P(AboveStall, TurbineLinearity,
+                         ::testing::Values(0.4, 0.8, 1.2, 1.6, 2.0, 2.5));
+
+}  // namespace
+}  // namespace aqua::baseline

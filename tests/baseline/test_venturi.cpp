@@ -1,0 +1,85 @@
+#include "baseline/venturi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqua::baseline {
+namespace {
+
+using util::metres_per_second;
+using util::Rng;
+using util::Seconds;
+
+double settled_reading(VenturiMeter& m, double v, int steps = 2000) {
+  double r = 0.0;
+  for (int i = 0; i < steps; ++i)
+    r = m.step(metres_per_second(v), Seconds{0.005}).value();
+  return r;
+}
+
+TEST(Venturi, DifferentialFollowsSquareLaw) {
+  VenturiMeter m{VenturiSpec{}, Rng{1}};
+  const double dp1 = m.differential(metres_per_second(1.0)).value();
+  const double dp2 = m.differential(metres_per_second(2.0)).value();
+  EXPECT_NEAR(dp2 / dp1, 4.0, 1e-9);
+  EXPECT_GT(dp1, 0.0);
+}
+
+TEST(Venturi, ThroatDifferentialMagnitude) {
+  // beta = 0.6 → vt = v/0.36; at 1 m/s: dp ≈ 0.5·999·(7.72−1)/0.98² ≈ 3.5 kPa.
+  VenturiMeter m{VenturiSpec{}, Rng{1}};
+  EXPECT_NEAR(m.differential(metres_per_second(1.0)).value(), 3495.0, 150.0);
+}
+
+TEST(Venturi, ReadsMidRangeAccurately) {
+  VenturiMeter m{VenturiSpec{}, Rng{2}};
+  EXPECT_NEAR(settled_reading(m, 1.5), 1.5, 0.02);
+}
+
+TEST(Venturi, LowFlowBlindness) {
+  // The square-root inversion amplifies dp noise at low flow: below the
+  // noise-floor velocity the signal drowns and the (rectified) noise biases
+  // the reading far off the true value.
+  VenturiMeter m{VenturiSpec{}, Rng{3}};
+  const double floor_v = m.noise_floor_velocity().value();
+  EXPECT_GT(floor_v, 0.02);  // a few cm/s
+  const double deep = 0.25 * floor_v;
+  const double r = settled_reading(m, deep);
+  EXPECT_GT(std::abs(r - deep) / deep, 0.5);
+}
+
+TEST(Venturi, PermanentPressureLossGrowsWithFlow) {
+  // The "intrusive measurement ... pressure loss" the paper's intro cites.
+  VenturiMeter m{VenturiSpec{}, Rng{4}};
+  const double loss1 = m.permanent_loss(metres_per_second(1.0)).value();
+  const double loss2 = m.permanent_loss(metres_per_second(2.5)).value();
+  EXPECT_GT(loss1, 100.0);  // hundreds of Pa at 1 m/s
+  EXPECT_GT(loss2, 5.0 * loss1);
+}
+
+TEST(Venturi, BidirectionalSignPreserved) {
+  VenturiMeter m{VenturiSpec{}, Rng{5}};
+  EXPECT_LT(settled_reading(m, -1.0), -0.9);
+}
+
+TEST(Venturi, SpecRecordMarksIntrusive) {
+  VenturiMeter m{VenturiSpec{}, Rng{6}};
+  EXPECT_TRUE(m.meter_spec().intrusive);
+  EXPECT_FALSE(m.meter_spec().moving_parts);
+  EXPECT_GT(m.meter_spec().resolution_percent_fs, 0.0);
+}
+
+class VenturiLinearity : public ::testing::TestWithParam<double> {};
+
+TEST_P(VenturiLinearity, MidAndHighRangeWithinTwoPercent) {
+  VenturiMeter m{VenturiSpec{}, Rng{7}};
+  const double v = GetParam();
+  EXPECT_NEAR(settled_reading(m, v), v, 0.02 * v + 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(AboveFloor, VenturiLinearity,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.0, 2.5));
+
+}  // namespace
+}  // namespace aqua::baseline

@@ -1,0 +1,125 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aqua::cta {
+namespace {
+
+std::vector<CalPoint> synth_points(double a, double b, double n,
+                                   double noise = 0.0,
+                                   std::uint64_t seed = 1) {
+  util::Rng rng{seed};
+  std::vector<CalPoint> pts;
+  for (double v : {0.0, 0.05, 0.1, 0.25, 0.5, 0.8, 1.2, 1.7, 2.1, 2.5}) {
+    const double u2 = a + b * std::pow(v, n);
+    pts.push_back(CalPoint{v, std::sqrt(u2) + rng.gaussian(0.0, noise)});
+  }
+  return pts;
+}
+
+TEST(KingFit, RecoversExactParameters) {
+  const auto fit = fit_kings_law(synth_points(0.5, 0.8, 0.5));
+  EXPECT_NEAR(fit.a, 0.5, 1e-5);
+  EXPECT_NEAR(fit.b, 0.8, 1e-5);
+  EXPECT_NEAR(fit.n, 0.5, 1e-3);
+  EXPECT_LT(fit.rms_residual, 1e-6);
+}
+
+TEST(KingFit, RecoversNonHalfExponent) {
+  const auto fit = fit_kings_law(synth_points(0.3, 1.1, 0.42));
+  EXPECT_NEAR(fit.n, 0.42, 2e-3);
+}
+
+TEST(KingFit, RobustToSmallNoise) {
+  const auto fit = fit_kings_law(synth_points(0.5, 0.8, 0.5, 1e-3, 7));
+  EXPECT_NEAR(fit.a, 0.5, 0.02);
+  EXPECT_NEAR(fit.b, 0.8, 0.02);
+  EXPECT_NEAR(fit.n, 0.5, 0.05);
+}
+
+TEST(KingFit, ForwardInverseRoundTrip) {
+  const KingFit fit{0.5, 0.8, 0.47, 0.0};
+  for (double v : {0.0, 0.1, 0.5, 1.5, 2.5}) {
+    EXPECT_NEAR(fit.velocity(fit.voltage(v)), v, 1e-9) << "v " << v;
+  }
+}
+
+TEST(KingFit, VoltagesBelowInterceptReadZero) {
+  const KingFit fit{0.5, 0.8, 0.5, 0.0};
+  EXPECT_DOUBLE_EQ(fit.velocity(0.1), 0.0);
+  // Exactly at the intercept, rounding may leave a vanishing residual speed.
+  EXPECT_LT(fit.velocity(std::sqrt(0.5)), 1e-9);
+}
+
+TEST(KingFit, SensitivityFallsWithSpeed) {
+  // vⁿ compression: dU/dv shrinks toward high flow — the physical reason the
+  // paper's resolution degrades from ±0.75 to ±4 cm/s across the range.
+  const KingFit fit{0.5, 0.8, 0.5, 0.0};
+  EXPECT_GT(fit.sensitivity(0.2), fit.sensitivity(1.0));
+  EXPECT_GT(fit.sensitivity(1.0), fit.sensitivity(2.5));
+}
+
+TEST(KingFit, ValidationRules) {
+  EXPECT_THROW((void)fit_kings_law(std::vector<CalPoint>{{0.0, 1.0}, {1.0, 2.0}}),
+               std::invalid_argument);
+  const std::vector<CalPoint> all_zero{{0.0, 1.0}, {0.0, 1.1}, {0.0, 0.9}};
+  EXPECT_THROW((void)fit_kings_law(all_zero), std::invalid_argument);
+  EXPECT_THROW((void)fit_kings_law(synth_points(0.5, 0.8, 0.5), 0.7, 0.3),
+               std::invalid_argument);
+}
+
+TEST(TableCalibration, InterpolatesBetweenPoints) {
+  TableCalibration cal{{{0.0, 1.0}, {1.0, 2.0}, {2.0, 2.5}}};
+  EXPECT_DOUBLE_EQ(cal.velocity(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(cal.velocity(2.25), 1.5);
+  EXPECT_DOUBLE_EQ(cal.voltage(1.0), 2.0);
+}
+
+TEST(TableCalibration, ClampsOutsideRange) {
+  TableCalibration cal{{{0.0, 1.0}, {2.0, 3.0}}};
+  EXPECT_DOUBLE_EQ(cal.velocity(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cal.velocity(10.0), 2.0);
+}
+
+TEST(TableCalibration, RejectsNonMonotone) {
+  EXPECT_THROW(TableCalibration({{0.0, 1.0}, {1.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(TableCalibration({{0.0, 2.0}, {1.0, 1.0}, {2.0, 3.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(TableCalibration({{1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(TableCalibration, AgreesWithKingOnDenseTable) {
+  const KingFit king{0.5, 0.8, 0.5, 0.0};
+  std::vector<CalPoint> pts;
+  for (double v = 0.0; v <= 2.5; v += 0.05)
+    pts.push_back(CalPoint{v, king.voltage(v)});
+  TableCalibration table{pts};
+  for (double u = king.voltage(0.1); u < king.voltage(2.4); u += 0.05)
+    EXPECT_NEAR(table.velocity(u), king.velocity(u), 0.01);
+}
+
+class KingFitParamSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(KingFitParamSweep, RecoversAcrossParameterSpace) {
+  const auto [a, b, n] = GetParam();
+  const auto fit = fit_kings_law(synth_points(a, b, n));
+  EXPECT_NEAR(fit.a, a, 0.01 * a + 1e-4);
+  EXPECT_NEAR(fit.b, b, 0.01 * b + 1e-4);
+  EXPECT_NEAR(fit.n, n, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KingFitParamSweep,
+    ::testing::Values(std::tuple{0.2, 0.5, 0.40}, std::tuple{0.2, 0.5, 0.50},
+                      std::tuple{0.2, 0.5, 0.60}, std::tuple{1.0, 0.3, 0.45},
+                      std::tuple{0.05, 2.0, 0.55}, std::tuple{0.8, 1.5, 0.35}));
+
+}  // namespace
+}  // namespace aqua::cta

@@ -1,0 +1,212 @@
+#include "core/cta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rig.hpp"
+#include "util/stats.hpp"
+
+namespace aqua::cta {
+namespace {
+
+using util::celsius;
+using util::metres_per_second;
+using util::Rng;
+using util::Seconds;
+
+maf::Environment water_at(double v_mps, double t_c = 15.0,
+                          double p_bar = 2.0) {
+  maf::Environment env;
+  env.speed = metres_per_second(v_mps);
+  env.fluid_temperature = celsius(t_c);
+  env.pressure = util::bar(p_bar);
+  return env;
+}
+
+CtaAnemometer make_anemo(std::uint64_t seed = 7, CtaConfig cfg = {}) {
+  Rng rng{seed};
+  return CtaAnemometer{maf::MafSpec{}, fast_isif_config(), cfg, rng};
+}
+
+TEST(Cta, HoldsOvertemperatureSetpoint) {
+  auto anemo = make_anemo();
+  const auto env = water_at(0.5);
+  anemo.run(Seconds{2.0}, env);
+  const auto t = anemo.die().temperatures();
+  const double overtemp = t.heater_a.value() - env.fluid_temperature.value();
+  // Setpoint 5 K; reference self-heating adds a small positive bias.
+  EXPECT_NEAR(overtemp, 5.0, 1.2);
+}
+
+TEST(Cta, TracksAmbientTemperatureChanges) {
+  // The CT mode's selling point (§2): Rt rides the bridge, so the
+  // *overtemperature* is held even when the water temperature moves.
+  auto anemo = make_anemo();
+  anemo.run(Seconds{2.0}, water_at(0.8, 10.0));
+  const auto t_cold = anemo.die().temperatures();
+  const double over_cold = t_cold.heater_a.value() - celsius(10.0).value();
+  anemo.run(Seconds{2.0}, water_at(0.8, 25.0));
+  const auto t_warm = anemo.die().temperatures();
+  const double over_warm = t_warm.heater_a.value() - celsius(25.0).value();
+  EXPECT_NEAR(over_cold, over_warm, 0.8);
+}
+
+TEST(Cta, BridgeVoltageMonotoneInFlow) {
+  auto anemo = make_anemo();
+  anemo.run(Seconds{1.5}, water_at(0.0));
+  double prev = anemo.bridge_voltage();
+  for (double v : {0.25, 0.7, 1.4, 2.5}) {
+    anemo.run(Seconds{1.0}, water_at(v));
+    const double u = anemo.bridge_voltage();
+    EXPECT_GT(u, prev) << "v " << v;
+    prev = u;
+  }
+}
+
+TEST(Cta, SquareLawShape) {
+  // U² should be ~affine in sqrt(v) (King's law with n = 0.5).
+  auto anemo = make_anemo();
+  std::vector<double> u2, sqv;
+  for (double v : {0.2, 0.6, 1.2, 2.0}) {
+    anemo.run(Seconds{1.5}, water_at(v));
+    u2.push_back(anemo.bridge_voltage() * anemo.bridge_voltage());
+    sqv.push_back(std::sqrt(v));
+  }
+  // Check collinearity: the slope between consecutive pairs is stable.
+  const double s1 = (u2[1] - u2[0]) / (sqv[1] - sqv[0]);
+  const double s2 = (u2[2] - u2[1]) / (sqv[2] - sqv[1]);
+  const double s3 = (u2[3] - u2[2]) / (sqv[3] - sqv[2]);
+  EXPECT_NEAR(s2 / s1, 1.0, 0.15);
+  EXPECT_NEAR(s3 / s2, 1.0, 0.15);
+}
+
+TEST(Cta, DirectionDetectedBothWays) {
+  auto anemo = make_anemo();
+  anemo.commission(water_at(0.0), Seconds{2.5});
+  anemo.run(Seconds{2.0}, water_at(0.5));
+  EXPECT_EQ(anemo.direction(), 1);
+  anemo.run(Seconds{3.0}, water_at(-0.5));
+  EXPECT_EQ(anemo.direction(), -1);
+}
+
+TEST(Cta, DirectionNeutralAtZeroFlowAfterCommission) {
+  auto anemo = make_anemo();
+  anemo.commission(water_at(0.0), Seconds{2.5});
+  anemo.run(Seconds{1.0}, water_at(0.0));
+  EXPECT_EQ(anemo.direction(), 0);
+}
+
+TEST(Cta, SensedAmbientTracksWater) {
+  auto anemo = make_anemo();
+  anemo.run(Seconds{1.5}, water_at(0.5, 18.0));
+  // Commissioned Rt reference removes the ±30 Ω tolerance; the residual is
+  // the reference's self-heating (≲ 1 K).
+  EXPECT_NEAR(util::to_celsius(anemo.sensed_ambient()), 18.0, 1.0);
+}
+
+TEST(Cta, FilteredOutputSmootherThanRaw) {
+  auto anemo = make_anemo();
+  // The 0.1 Hz output filter needs ~20 s to settle on the operating point.
+  anemo.run(Seconds{25.0}, water_at(1.0));
+  // Collect raw and filtered over 2 s.
+  util::RunningStats raw, filt;
+  const auto env = water_at(1.0);
+  const long long ticks = static_cast<long long>(2.0 / anemo.tick_period().value());
+  for (long long i = 0; i < ticks; ++i) {
+    anemo.tick(env);
+    if (i % 100 == 0) {
+      raw.add(anemo.bridge_voltage());
+      filt.add(anemo.filtered_voltage());
+    }
+  }
+  EXPECT_LT(filt.stddev(), raw.stddev() + 1e-12);
+}
+
+TEST(Cta, StatusHealthyInNormalOperation) {
+  auto anemo = make_anemo();
+  anemo.run(Seconds{1.0}, water_at(0.5));
+  const auto st = anemo.status();
+  EXPECT_TRUE(st.membrane_intact);
+  EXPECT_TRUE(st.package_healthy);
+  EXPECT_FALSE(st.watchdog_tripped);
+  EXPECT_LT(st.cpu_load, 0.05);  // software IPs are light on the LEON
+  EXPECT_GT(st.cpu_load, 0.0);
+}
+
+TEST(Cta, PulsedDriveKeepsMeasuring) {
+  CtaConfig cfg;
+  cfg.pulse.enabled = true;
+  cfg.pulse.period = Seconds{0.05};
+  cfg.pulse.duty = 0.5;
+  auto anemo = make_anemo(9, cfg);
+  anemo.run(Seconds{3.0}, water_at(1.0));
+  // The held measurand still reflects the flow.
+  const double u_1 = anemo.bridge_voltage();
+  anemo.run(Seconds{3.0}, water_at(2.5));
+  EXPECT_GT(anemo.bridge_voltage(), u_1);
+}
+
+TEST(Cta, PulsedDriveLowersAverageWallTemperature) {
+  const auto env = water_at(0.3);
+  auto cont = make_anemo(11);
+  cont.run(Seconds{2.0}, env);
+
+  CtaConfig pcfg;
+  pcfg.pulse.enabled = true;
+  pcfg.pulse.period = Seconds{0.04};
+  pcfg.pulse.duty = 0.4;
+  auto pulsed = make_anemo(11, pcfg);
+  pulsed.run(Seconds{2.0}, env);
+
+  // Average heater temperature over one pulse period.
+  auto avg_wall = [&](CtaAnemometer& a) {
+    double acc = 0.0;
+    int n = 0;
+    const long long ticks =
+        static_cast<long long>(0.2 / a.tick_period().value());
+    for (long long i = 0; i < ticks; ++i) {
+      a.tick(env);
+      acc += a.die().temperatures().heater_a.value();
+      ++n;
+    }
+    return acc / n;
+  };
+  EXPECT_LT(avg_wall(pulsed), avg_wall(cont) - 0.5);
+}
+
+TEST(Cta, MembraneBreakFlagsStatus) {
+  auto anemo = make_anemo();
+  anemo.run(Seconds{0.5}, water_at(0.5));
+  anemo.run(Seconds{0.2}, water_at(0.5, 15.0, 120.0));  // overpressure
+  EXPECT_FALSE(anemo.status().membrane_intact);
+}
+
+TEST(Cta, ConfigValidation) {
+  CtaConfig bad;
+  bad.pulse.enabled = true;
+  bad.pulse.duty = 1.5;
+  Rng rng{1};
+  EXPECT_THROW(
+      (CtaAnemometer{maf::MafSpec{}, fast_isif_config(), bad, rng}),
+      std::invalid_argument);
+  CtaConfig bad2;
+  bad2.output_divisor = 0;
+  Rng rng2{1};
+  EXPECT_THROW(
+      (CtaAnemometer{maf::MafSpec{}, fast_isif_config(), bad2, rng2}),
+      std::invalid_argument);
+}
+
+TEST(Cta, FixedPointPiImplementationAlsoConverges) {
+  CtaConfig cfg;
+  cfg.pi_impl = isif::IpImpl::kHardwareFixed;
+  auto anemo = make_anemo(13, cfg);
+  const auto env = water_at(0.8);
+  anemo.run(Seconds{2.0}, env);
+  const auto t = anemo.die().temperatures();
+  EXPECT_NEAR(t.heater_a.value() - env.fluid_temperature.value(), 5.0, 1.5);
+}
+
+}  // namespace
+}  // namespace aqua::cta

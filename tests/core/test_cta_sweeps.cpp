@@ -1,0 +1,128 @@
+// Parameterised robustness sweeps of the closed CTA loop: the loop must
+// bootstrap, converge and hold its setpoint across the whole operating
+// envelope the paper claims (temperatures, pressures, overtemperatures, PI
+// tunings, part tolerances), not just at the nominal point.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/cta.hpp"
+#include "core/rig.hpp"
+
+namespace aqua::cta {
+namespace {
+
+using util::celsius;
+using util::Seconds;
+
+maf::Environment env_of(double v, double t_c, double p_bar) {
+  maf::Environment env;
+  env.speed = util::metres_per_second(v);
+  env.fluid_temperature = celsius(t_c);
+  env.pressure = util::bar(p_bar);
+  return env;
+}
+
+// --- operating-envelope sweep -----------------------------------------------
+class EnvelopeSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(EnvelopeSweep, LoopConvergesAndHoldsSetpoint) {
+  const auto [t_c, p_bar, v] = GetParam();
+  util::Rng rng{static_cast<std::uint64_t>(t_c * 100 + p_bar * 10 + v * 7)};
+  CtaConfig cfg;
+  cfg.commissioning_temperature = celsius(t_c);
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), cfg, rng};
+  const auto env = env_of(v, t_c, p_bar);
+  anemo.run(Seconds{2.0}, env);
+  const auto t = anemo.die().temperatures();
+  const double overtemp = t.heater_a.value() - env.fluid_temperature.value();
+  EXPECT_NEAR(overtemp, 5.0, 1.5) << "T=" << t_c << " p=" << p_bar << " v=" << v;
+  EXPECT_TRUE(anemo.status().membrane_intact);
+  EXPECT_GT(anemo.control_output(), cfg.pi_min);  // not parked at the rail
+  EXPECT_LT(anemo.control_output(), cfg.pi_max);  // not saturated
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Envelope, EnvelopeSweep,
+    ::testing::Values(std::tuple{5.0, 1.0, 0.1}, std::tuple{5.0, 3.0, 2.0},
+                      std::tuple{15.0, 2.0, 0.5}, std::tuple{15.0, 7.0, 2.5},
+                      std::tuple{25.0, 1.0, 1.0}, std::tuple{25.0, 3.0, 0.05},
+                      std::tuple{35.0, 2.0, 1.5}));
+
+// --- PI tuning sweep ----------------------------------------------------------
+class PiTuningSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(PiTuningSweep, LoopStableAcrossGainRange) {
+  const auto [kp, ki] = GetParam();
+  CtaConfig cfg;
+  cfg.pi = dsp::PidGains{kp, ki, 0.0};
+  util::Rng rng{77};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), cfg, rng};
+  const auto env = env_of(1.0, 15.0, 2.0);
+  anemo.run(Seconds{2.0}, env);
+  // Converged (not oscillating): short-window spread of the measurand small.
+  double min_u = 1e9, max_u = -1e9;
+  const long long ticks =
+      static_cast<long long>(0.5 / anemo.tick_period().value());
+  for (long long i = 0; i < ticks; ++i) {
+    anemo.tick(env);
+    min_u = std::min(min_u, anemo.bridge_voltage());
+    max_u = std::max(max_u, anemo.bridge_voltage());
+  }
+  EXPECT_LT(max_u - min_u, 0.05 * max_u) << "kp=" << kp << " ki=" << ki;
+  const double overtemp = anemo.die().temperatures().heater_a.value() -
+                          env.fluid_temperature.value();
+  EXPECT_NEAR(overtemp, 5.0, 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gains, PiTuningSweep,
+                         ::testing::Values(std::pair{0.2, 10.0},
+                                           std::pair{0.6, 30.0},
+                                           std::pair{1.0, 60.0},
+                                           std::pair{0.3, 100.0},
+                                           std::pair{1.5, 150.0}));
+
+// --- part-tolerance sweep -----------------------------------------------------
+class ToleranceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ToleranceSweep, AnyPartFromTheLotCommissionsCorrectly) {
+  // Different RNG seeds draw different resistor tolerances, amplifier offsets
+  // and DAC mismatch; every part must trim, bootstrap and read direction.
+  util::Rng rng{GetParam()};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  const auto zero = env_of(0.0, 15.0, 2.0);
+  anemo.commission(zero, Seconds{2.0});
+  anemo.run(Seconds{2.0}, env_of(0.8, 15.0, 2.0));
+  const double overtemp = anemo.die().temperatures().heater_a.value() -
+                          celsius(15.0).value();
+  EXPECT_NEAR(overtemp, 5.0, 1.5) << "seed " << GetParam();
+  EXPECT_EQ(anemo.direction(), 1) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(ProductionLot, ToleranceSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// --- pulsed-drive duty sweep ---------------------------------------------------
+class DutySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DutySweep, PulsedLoopKeepsMeasuringAtAnyDuty) {
+  CtaConfig cfg;
+  cfg.pulse.enabled = true;
+  cfg.pulse.period = Seconds{0.05};
+  cfg.pulse.duty = GetParam();
+  util::Rng rng{55};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), cfg, rng};
+  anemo.run(Seconds{3.0}, env_of(0.5, 15.0, 2.0));
+  const double u_low = anemo.bridge_voltage();
+  anemo.run(Seconds{3.0}, env_of(2.0, 15.0, 2.0));
+  EXPECT_GT(anemo.bridge_voltage(), u_low * 1.05) << "duty " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Duties, DutySweep,
+                         ::testing::Values(0.25, 0.4, 0.6, 0.8, 1.0));
+
+}  // namespace
+}  // namespace aqua::cta

@@ -1,0 +1,137 @@
+#include "core/drive_modes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqua::cta {
+namespace {
+
+using util::amperes;
+using util::celsius;
+using util::metres_per_second;
+using util::watts;
+
+maf::Environment water_at(double v_mps, double t_c = 15.0) {
+  maf::Environment env;
+  env.speed = metres_per_second(v_mps);
+  env.fluid_temperature = celsius(t_c);
+  env.pressure = util::bar(2.0);
+  return env;
+}
+
+TEST(ConstantTemperature, HoldsOvertemperatureAcrossFlow) {
+  maf::MafDie die{maf::MafSpec{}};
+  const CtaConfig cfg{};
+  for (double v : {0.0, 0.5, 1.5, 2.5}) {
+    const auto pt = solve_constant_temperature(die, water_at(v), cfg);
+    EXPECT_NEAR(pt.overtemperature.value(), 5.0, 0.8) << "v " << v;
+    EXPECT_LT(std::abs(pt.bridge_error_v), 1e-4);
+  }
+}
+
+TEST(ConstantTemperature, SupplyGrowsWithFlow) {
+  maf::MafDie die{maf::MafSpec{}};
+  const CtaConfig cfg{};
+  double prev = 0.0;
+  for (double v : {0.0, 0.3, 1.0, 2.0}) {
+    const auto pt = solve_constant_temperature(die, water_at(v), cfg);
+    EXPECT_GT(pt.supply_v, prev);
+    prev = pt.supply_v;
+  }
+}
+
+TEST(ConstantTemperature, MatchesKingsLawPower) {
+  // P should equal ΔT·G with G from the die's clean film conductance.
+  maf::MafDie die{maf::MafSpec{}};
+  const CtaConfig cfg{};
+  const auto env = water_at(1.0);
+  const auto pt = solve_constant_temperature(die, env, cfg);
+  const double g =
+      die.clean_film_conductance(env, pt.heater_temperature);
+  const double expected = pt.overtemperature.value() * g;
+  // Membrane/backside losses and tandem coupling account for the slack.
+  EXPECT_NEAR(pt.heater_power_w, expected, 0.35 * expected);
+}
+
+TEST(ConstantTemperature, ThrowsIfSetpointUnreachable) {
+  maf::MafDie die{maf::MafSpec{}};
+  CtaConfig cfg;
+  cfg.overtemperature = util::kelvin(40.0);  // enormous in water
+  EXPECT_THROW(
+      (void)solve_constant_temperature(die, water_at(2.5), cfg,
+                                       util::volts(3.0)),
+      std::runtime_error);
+}
+
+TEST(ConstantCurrent, OvertemperatureCollapsesWithFlow) {
+  // CC mode: fixed I means ΔT = I²R/(A + B·vⁿ) falls as v rises.
+  maf::MafDie die{maf::MafSpec{}};
+  const auto lo = solve_constant_current(die, water_at(0.1), amperes(0.010));
+  const auto hi = solve_constant_current(die, water_at(2.0), amperes(0.010));
+  EXPECT_GT(lo.overtemperature.value(), 1.5 * hi.overtemperature.value());
+}
+
+TEST(ConstantPower, OvertemperatureCollapsesWithFlow) {
+  maf::MafDie die{maf::MafSpec{}};
+  const auto lo = solve_constant_power(die, water_at(0.1), watts(0.004));
+  const auto hi = solve_constant_power(die, water_at(2.0), watts(0.004));
+  EXPECT_GT(lo.overtemperature.value(), 1.5 * hi.overtemperature.value());
+}
+
+TEST(ConstantPower, PowerIsExactlyHeld) {
+  maf::MafDie die{maf::MafSpec{}};
+  const auto pt = solve_constant_power(die, water_at(1.0), watts(0.004));
+  EXPECT_DOUBLE_EQ(pt.heater_power_w, 0.004);
+}
+
+TEST(DriveModes, FluidTemperatureRobustness) {
+  // The §2 claim: CT mode is "more robust with respect to changes of the
+  // temperature of the fluid". Compare the *velocity-equivalent* error a
+  // +10 °C fluid shift induces in each mode's raw measurand at constant flow
+  // (each measurand scaled by its own local flow sensitivity).
+  const CtaConfig cfg{};
+  maf::MafDie die{maf::MafSpec{}};
+
+  // CT: measurand is the bridge supply; the Rt arm auto-references ambient.
+  const auto ct = [&](double v, double t) {
+    return solve_constant_temperature(die, water_at(v, t), cfg).supply_v;
+  };
+  const double ct_slope = (ct(1.1, 10.0) - ct(0.9, 10.0)) / 0.2;  // V/(m/s)
+  const double ct_v_err = std::abs(ct(1.0, 20.0) - ct(1.0, 10.0)) / ct_slope;
+
+  // CC: measurand is the wire resistance (absolute temperature!) — the fluid
+  // temperature rides straight into it.
+  const auto cc = [&](double v, double t) {
+    (void)solve_constant_current(die, water_at(v, t), amperes(0.010));
+    return die.heater_a_resistance().value();
+  };
+  const double cc_slope =
+      std::abs(cc(1.1, 10.0) - cc(0.9, 10.0)) / 0.2;  // Ohm/(m/s)
+  const double cc_v_err = std::abs(cc(1.0, 20.0) - cc(1.0, 10.0)) / cc_slope;
+
+  // CP: same measurand, fixed power.
+  const auto cp = [&](double v, double t) {
+    (void)solve_constant_power(die, water_at(v, t), watts(0.004));
+    return die.heater_a_resistance().value();
+  };
+  const double cp_slope =
+      std::abs(cp(1.1, 10.0) - cp(0.9, 10.0)) / 0.2;
+  const double cp_v_err = std::abs(cp(1.0, 20.0) - cp(1.0, 10.0)) / cp_slope;
+
+  EXPECT_GT(cc_v_err, 5.0 * ct_v_err);
+  EXPECT_GT(cp_v_err, 5.0 * ct_v_err);
+  EXPECT_LT(ct_v_err, 0.6);  // CT raw error stays sub-m/s even uncompensated
+}
+
+TEST(DriveModes, Validation) {
+  maf::MafDie die{maf::MafSpec{}};
+  EXPECT_THROW(
+      (void)solve_constant_current(die, water_at(1.0), amperes(-1.0)),
+      std::invalid_argument);
+  EXPECT_THROW((void)solve_constant_power(die, water_at(1.0), watts(-1.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::cta

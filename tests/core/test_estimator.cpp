@@ -1,0 +1,65 @@
+#include "core/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqua::cta {
+namespace {
+
+using util::centimetres_per_second;
+using util::metres_per_second;
+
+const KingFit kFit{0.5, 0.8, 0.5, 0.0};
+
+TEST(FlowEstimator, SpeedInversionMatchesFit) {
+  FlowEstimator est{kFit, metres_per_second(2.5)};
+  for (double v : {0.1, 0.5, 1.5, 2.5}) {
+    EXPECT_NEAR(est.speed_for(kFit.voltage(v)).value(), v, 1e-9);
+  }
+}
+
+TEST(FlowEstimator, PercentOfFullScale) {
+  FlowEstimator est{kFit, metres_per_second(2.5)};
+  EXPECT_DOUBLE_EQ(est.percent_of_full_scale(centimetres_per_second(250.0)),
+                   100.0);
+  EXPECT_DOUBLE_EQ(est.percent_of_full_scale(centimetres_per_second(2.5)), 1.0);
+}
+
+TEST(FlowEstimator, ResolutionFromVoltageNoise) {
+  FlowEstimator est{kFit, metres_per_second(2.5)};
+  const double noise_v = 1e-3;
+  const auto res_low = est.resolution_for(noise_v, metres_per_second(0.2));
+  const auto res_high = est.resolution_for(noise_v, metres_per_second(2.5));
+  // Same voltage noise hurts more at high speed (vⁿ compression) — the
+  // paper's ±0.75 → ±4 cm/s trend.
+  EXPECT_GT(res_high.value(), res_low.value());
+  EXPECT_GT(res_low.value(), 0.0);
+}
+
+TEST(FlowEstimator, ResolutionScalesLinearlyWithNoise) {
+  FlowEstimator est{kFit, metres_per_second(2.5)};
+  const auto r1 = est.resolution_for(1e-3, metres_per_second(1.0));
+  const auto r2 = est.resolution_for(2e-3, metres_per_second(1.0));
+  EXPECT_NEAR(r2.value() / r1.value(), 2.0, 1e-9);
+}
+
+TEST(FlowEstimator, ReverseFitStoredAndValidated) {
+  FlowEstimator est{kFit, metres_per_second(2.5)};
+  EXPECT_FALSE(est.has_reverse_fit());
+  est.set_reverse_fit(KingFit{0.45, 0.7, 0.5, 0.0});
+  EXPECT_TRUE(est.has_reverse_fit());
+  EXPECT_THROW(est.set_reverse_fit(KingFit{0.45, 0.0, 0.5, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(FlowEstimator, Validation) {
+  EXPECT_THROW((FlowEstimator{kFit, metres_per_second(0.0)}),
+               std::invalid_argument);
+  KingFit degenerate{0.5, 0.0, 0.5, 0.0};
+  EXPECT_THROW((FlowEstimator{degenerate, metres_per_second(2.5)}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::cta

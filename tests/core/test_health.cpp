@@ -1,0 +1,131 @@
+#include "core/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/rig.hpp"
+
+namespace aqua::cta {
+namespace {
+
+using util::metres_per_second;
+using util::Seconds;
+
+maf::Environment water(double v, double p_bar = 2.0) {
+  maf::Environment env;
+  env.speed = metres_per_second(v);
+  env.fluid_temperature = util::celsius(15.0);
+  env.pressure = util::bar(p_bar);
+  return env;
+}
+
+FlowReading reading_of(double v_mps) {
+  return FlowReading{metres_per_second(v_mps), v_mps >= 0 ? 1 : -1, 1.0};
+}
+
+bool has(const std::vector<FaultCode>& faults, FaultCode code) {
+  return std::find(faults.begin(), faults.end(), code) != faults.end();
+}
+
+TEST(Health, HealthySensorReportsNoFaults) {
+  util::Rng rng{1};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  anemo.run(Seconds{1.0}, water(0.8));
+  HealthMonitor monitor;
+  const auto faults = monitor.assess(anemo, reading_of(0.8), Seconds{0.1});
+  EXPECT_TRUE(faults.empty());
+  EXPECT_TRUE(monitor.healthy());
+}
+
+TEST(Health, MembraneBreakReported) {
+  util::Rng rng{2};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  anemo.run(Seconds{0.3}, water(0.5, 120.0));
+  HealthMonitor monitor;
+  const auto faults = monitor.assess(anemo, reading_of(0.5), Seconds{0.1});
+  EXPECT_TRUE(has(faults, FaultCode::kMembraneBroken));
+  EXPECT_FALSE(monitor.healthy());
+}
+
+TEST(Health, RangeChecks) {
+  util::Rng rng{3};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  anemo.run(Seconds{0.5}, water(0.5));
+  HealthMonitor monitor;
+  EXPECT_TRUE(has(monitor.assess(anemo, reading_of(3.5), Seconds{0.1}),
+                  FaultCode::kRangeHigh));
+  EXPECT_TRUE(has(monitor.assess(anemo, reading_of(-3.5), Seconds{0.1}),
+                  FaultCode::kRangeLow));
+}
+
+TEST(Health, RateLimitTripsOnImplausibleJump) {
+  util::Rng rng{4};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  anemo.run(Seconds{0.5}, water(0.5));
+  HealthMonitor monitor;
+  (void)monitor.assess(anemo, reading_of(0.2), Seconds{0.1});
+  const auto faults = monitor.assess(anemo, reading_of(1.8), Seconds{0.1});
+  EXPECT_TRUE(has(faults, FaultCode::kRateLimit));  // 16 m/s² is no valve
+}
+
+TEST(Health, SlowChangesDoNotTripRate) {
+  util::Rng rng{5};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  anemo.run(Seconds{0.5}, water(0.5));
+  HealthMonitor monitor;
+  (void)monitor.assess(anemo, reading_of(0.5), Seconds{0.1});
+  const auto faults = monitor.assess(anemo, reading_of(0.6), Seconds{0.1});
+  EXPECT_FALSE(has(faults, FaultCode::kRateLimit));
+}
+
+TEST(Health, StuckReadingDetected) {
+  util::Rng rng{6};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  anemo.run(Seconds{0.5}, water(0.5));
+  HealthMonitor monitor;
+  std::vector<FaultCode> faults;
+  for (int i = 0; i < 25; ++i)
+    faults = monitor.assess(anemo, reading_of(0.731), Seconds{0.1});
+  EXPECT_TRUE(has(faults, FaultCode::kStuckReading));
+}
+
+TEST(Health, LiveReadingsNeverLookStuck) {
+  util::Rng rng{7};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  anemo.run(Seconds{1.0}, water(0.8));
+  HealthMonitor monitor;
+  // Real readings carry loop noise; feed slightly-varying values.
+  std::vector<FaultCode> faults;
+  for (int i = 0; i < 40; ++i)
+    faults = monitor.assess(anemo, reading_of(0.8 + 1e-4 * (i % 3)),
+                            Seconds{0.1});
+  EXPECT_FALSE(has(faults, FaultCode::kStuckReading));
+}
+
+TEST(Health, ResetClearsState) {
+  util::Rng rng{8};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  anemo.run(Seconds{0.3}, water(0.5));
+  HealthMonitor monitor;
+  for (int i = 0; i < 25; ++i)
+    (void)monitor.assess(anemo, reading_of(0.7), Seconds{0.1});
+  monitor.reset();
+  const auto faults = monitor.assess(anemo, reading_of(0.7), Seconds{0.1});
+  EXPECT_FALSE(has(faults, FaultCode::kStuckReading));
+}
+
+TEST(Health, FaultNamesDistinct) {
+  EXPECT_EQ(fault_name(FaultCode::kMembraneBroken), "membrane-broken");
+  EXPECT_EQ(fault_name(FaultCode::kStuckReading), "stuck-reading");
+  EXPECT_NE(fault_name(FaultCode::kRangeHigh), fault_name(FaultCode::kRangeLow));
+}
+
+TEST(Health, Validation) {
+  HealthConfig bad{};
+  bad.stuck_count = 1;
+  EXPECT_THROW(HealthMonitor{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::cta

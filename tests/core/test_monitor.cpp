@@ -1,0 +1,125 @@
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aqua::cta {
+namespace {
+
+using hydro::WaterNetwork;
+using util::metres;
+using util::millimetres;
+
+/// A small district: reservoir feeding a 2×2 grid, sensors on every pipe.
+struct District {
+  WaterNetwork net;
+  std::vector<WaterNetwork::NodeId> junctions;
+  std::vector<WaterNetwork::PipeId> pipes;
+};
+
+District make_district() {
+  District d;
+  const auto res = d.net.add_reservoir(55.0);
+  for (int i = 0; i < 4; ++i)
+    d.junctions.push_back(d.net.add_junction(0.0, 0.004));
+  d.pipes.push_back(d.net.add_pipe(res, d.junctions[0], metres(300.0),
+                                   millimetres(150.0)));
+  d.pipes.push_back(d.net.add_pipe(d.junctions[0], d.junctions[1],
+                                   metres(400.0), millimetres(100.0)));
+  d.pipes.push_back(d.net.add_pipe(d.junctions[0], d.junctions[2],
+                                   metres(400.0), millimetres(100.0)));
+  d.pipes.push_back(d.net.add_pipe(d.junctions[1], d.junctions[3],
+                                   metres(400.0), millimetres(80.0)));
+  d.pipes.push_back(d.net.add_pipe(d.junctions[2], d.junctions[3],
+                                   metres(400.0), millimetres(80.0)));
+  return d;
+}
+
+std::vector<double> measure(WaterNetwork& net,
+                            const std::vector<WaterNetwork::PipeId>& pipes,
+                            double noise_mps = 0.0, std::uint64_t seed = 5) {
+  util::Rng rng{seed};
+  std::vector<double> out;
+  for (auto p : pipes)
+    out.push_back(net.pipe_velocity(p).value() + rng.gaussian(0.0, noise_mps));
+  return out;
+}
+
+TEST(LeakLocalizer, NoFalseAlarmOnHealthyNetwork) {
+  District d = make_district();
+  LeakLocalizer mon{d.net, d.pipes, util::centimetres_per_second(1.0)};
+  mon.calibrate();
+  const auto m = measure(d.net, d.pipes, 0.002);
+  EXPECT_FALSE(mon.leak_detected(m));
+}
+
+TEST(LeakLocalizer, DetectsInjectedLeak) {
+  District d = make_district();
+  LeakLocalizer mon{d.net, d.pipes, util::centimetres_per_second(1.0)};
+  mon.calibrate();
+  d.net.set_leak(d.junctions[3], 2e-3);
+  ASSERT_TRUE(d.net.solve());
+  const auto m = measure(d.net, d.pipes, 0.002);
+  EXPECT_TRUE(mon.leak_detected(m));
+}
+
+TEST(LeakLocalizer, LocalisesToCorrectJunction) {
+  District d = make_district();
+  LeakLocalizer mon{d.net, d.pipes, util::centimetres_per_second(1.0)};
+  mon.calibrate();
+  for (std::size_t leak_at = 0; leak_at < d.junctions.size(); ++leak_at) {
+    d.net.set_leak(d.junctions[leak_at], 2e-3);
+    ASSERT_TRUE(d.net.solve());
+    const auto m = measure(d.net, d.pipes, 0.001,
+                           static_cast<std::uint64_t>(leak_at + 10));
+    const auto ranked = mon.locate(m);
+    ASSERT_FALSE(ranked.empty());
+    EXPECT_EQ(ranked.front().node, d.junctions[leak_at])
+        << "leak at junction " << leak_at;
+    d.net.set_leak(d.junctions[leak_at], 0.0);
+    ASSERT_TRUE(d.net.solve());
+  }
+}
+
+TEST(LeakLocalizer, EstimatesLeakMagnitude) {
+  District d = make_district();
+  LeakLocalizer mon{d.net, d.pipes, util::centimetres_per_second(1.0)};
+  mon.calibrate();
+  d.net.set_leak(d.junctions[1], 2e-3);
+  ASSERT_TRUE(d.net.solve());
+  const double true_leak = d.net.leak_flow(d.junctions[1]);
+  const auto ranked = mon.locate(measure(d.net, d.pipes, 0.0005));
+  EXPECT_NEAR(ranked.front().estimated_flow_m3s, true_leak, 0.4 * true_leak);
+}
+
+TEST(LeakLocalizer, BaselineRecorded) {
+  District d = make_district();
+  LeakLocalizer mon{d.net, d.pipes, util::centimetres_per_second(1.0)};
+  mon.calibrate();
+  EXPECT_EQ(mon.baseline().size(), d.pipes.size());
+  EXPECT_GT(mon.baseline()[0], 0.0);  // feed pipe carries all demand
+}
+
+TEST(LeakLocalizer, Validation) {
+  District d = make_district();
+  EXPECT_THROW((LeakLocalizer{d.net, {}, util::centimetres_per_second(1.0)}),
+               std::invalid_argument);
+  LeakLocalizer mon{d.net, d.pipes, util::centimetres_per_second(1.0)};
+  EXPECT_THROW((void)mon.locate(std::vector<double>{1.0}), std::invalid_argument);
+  mon.calibrate();
+  EXPECT_THROW((void)mon.leak_detected(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(LeakLocalizer, LocateBeforeCalibrateThrows) {
+  District d = make_district();
+  LeakLocalizer mon{d.net, d.pipes, util::centimetres_per_second(1.0)};
+  const std::vector<double> m(d.pipes.size(), 0.0);
+  EXPECT_THROW((void)mon.locate(m), std::logic_error);
+}
+
+}  // namespace
+}  // namespace aqua::cta

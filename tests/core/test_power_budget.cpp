@@ -1,0 +1,76 @@
+#include "core/power_budget.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqua::cta {
+namespace {
+
+TEST(PowerBudget, PaperAutonomyClaimReproduced) {
+  // §7: "4 alkaline AA ... autonomy of one year for a typical sensor usage".
+  const PowerBudgetSpec spec{};
+  const auto result = evaluate_power_budget(spec);
+  EXPECT_GT(result.autonomy_days, 330.0);
+  EXPECT_LT(result.autonomy_days, 900.0);
+}
+
+TEST(PowerBudget, SleepDominatedWhenIdle) {
+  PowerBudgetSpec spec{};
+  spec.measurements_per_hour = 0.0;
+  const auto result = evaluate_power_budget(spec);
+  EXPECT_NEAR(result.average_power_w, spec.sleep_power_w, 1e-9);
+  EXPECT_GT(result.autonomy_days, 10000.0);  // years of pure sleep
+}
+
+TEST(PowerBudget, ContinuousOperationKillsTheBattery) {
+  PowerBudgetSpec spec{};
+  spec.measurements_per_hour = 3600.0;  // back-to-back bursts
+  spec.active_burst = util::Seconds{1.0};
+  const auto result = evaluate_power_budget(spec);
+  EXPECT_NEAR(result.duty_cycle, 1.0, 1e-9);
+  EXPECT_LT(result.autonomy_days, 40.0);
+}
+
+TEST(PowerBudget, AutonomyFallsWithCadence) {
+  PowerBudgetSpec a{}, b{};
+  a.measurements_per_hour = 4.0;
+  b.measurements_per_hour = 60.0;
+  EXPECT_GT(evaluate_power_budget(a).autonomy_days,
+            evaluate_power_budget(b).autonomy_days);
+}
+
+TEST(PowerBudget, EnergyPerMeasurementBreakdown) {
+  PowerBudgetSpec spec{};
+  spec.active_power_w = 0.1;
+  spec.active_burst = util::Seconds{2.0};
+  spec.report_energy_j = 0.3;
+  EXPECT_DOUBLE_EQ(evaluate_power_budget(spec).energy_per_measurement_j, 0.5);
+}
+
+TEST(PowerBudget, InverseSolverHitsTarget) {
+  const PowerBudgetSpec spec{};
+  const double cadence = measurements_per_hour_for_autonomy(spec, 365.0);
+  ASSERT_GT(cadence, 0.0);
+  PowerBudgetSpec tuned = spec;
+  tuned.measurements_per_hour = cadence;
+  EXPECT_NEAR(evaluate_power_budget(tuned).autonomy_days, 365.0, 1.0);
+}
+
+TEST(PowerBudget, InverseSolverZeroWhenSleepExceedsBudget) {
+  PowerBudgetSpec spec{};
+  spec.sleep_power_w = 1.0;  // absurd sleep current
+  EXPECT_DOUBLE_EQ(measurements_per_hour_for_autonomy(spec, 365.0), 0.0);
+}
+
+TEST(PowerBudget, Validation) {
+  PowerBudgetSpec bad{};
+  bad.battery_energy_wh = 0.0;
+  EXPECT_THROW((void)evaluate_power_budget(bad), std::invalid_argument);
+  PowerBudgetSpec bad2{};
+  bad2.usable_fraction = 1.5;
+  EXPECT_THROW((void)evaluate_power_budget(bad2), std::invalid_argument);
+  EXPECT_THROW((void)measurements_per_hour_for_autonomy(PowerBudgetSpec{}, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::cta

@@ -1,0 +1,123 @@
+#include "dsp/biquad.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqua::dsp {
+namespace {
+
+using util::hertz;
+using util::Hertz;
+
+TEST(Biquad, IdentityByDefault) {
+  Biquad b;
+  EXPECT_DOUBLE_EQ(b.process(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(b.process(-1.5), -1.5);
+}
+
+TEST(Biquad, PrimeReachesSteadyStateImmediately) {
+  auto cascade = design_butterworth_lowpass(2, hertz(10.0), hertz(1000.0));
+  cascade.prime(2.5);
+  // Next outputs for constant input stay at the DC value.
+  for (int i = 0; i < 5; ++i) EXPECT_NEAR(cascade.process(2.5), 2.5, 1e-9);
+}
+
+TEST(ButterworthLowpass, UnityDcGain) {
+  for (int order : {1, 2, 3, 4, 5}) {
+    auto f = design_butterworth_lowpass(order, hertz(50.0), hertz(2000.0));
+    EXPECT_NEAR(f.magnitude(hertz(0.001), hertz(2000.0)), 1.0, 1e-6)
+        << "order " << order;
+  }
+}
+
+TEST(ButterworthLowpass, MinusThreeDbAtCutoff) {
+  for (int order : {1, 2, 4}) {
+    auto f = design_butterworth_lowpass(order, hertz(100.0), hertz(4000.0));
+    EXPECT_NEAR(f.magnitude(hertz(100.0), hertz(4000.0)), std::sqrt(0.5), 0.01)
+        << "order " << order;
+  }
+}
+
+TEST(ButterworthLowpass, RolloffMatchesOrder) {
+  // One octave above cutoff, attenuation ≈ 6 dB per order.
+  for (int order : {1, 2, 3}) {
+    auto f = design_butterworth_lowpass(order, hertz(50.0), hertz(8000.0));
+    const double mag = f.magnitude(hertz(100.0), hertz(8000.0));
+    const double db = -20.0 * std::log10(mag);
+    EXPECT_NEAR(db, 6.0 * order, 1.2) << "order " << order;
+  }
+}
+
+TEST(ButterworthLowpass, StableImpulseResponse) {
+  auto f = design_butterworth_lowpass(4, hertz(10.0), hertz(1000.0));
+  double y = f.process(1.0);
+  double peak = std::abs(y);
+  for (int i = 0; i < 20000; ++i) {
+    y = f.process(0.0);
+    peak = std::max(peak, std::abs(y));
+  }
+  EXPECT_LT(std::abs(y), 1e-12);  // decayed
+  EXPECT_LT(peak, 1.0);           // no blow-up
+}
+
+TEST(ButterworthHighpass, BlocksDcPassesHighs) {
+  auto f = design_butterworth_highpass(2, hertz(100.0), hertz(4000.0));
+  EXPECT_NEAR(f.magnitude(hertz(0.01), hertz(4000.0)), 0.0, 1e-4);
+  EXPECT_NEAR(f.magnitude(hertz(1500.0), hertz(4000.0)), 1.0, 0.02);
+}
+
+TEST(Butterworth, SectionCounts) {
+  EXPECT_EQ(design_butterworth_lowpass(1, hertz(10), hertz(1000)).section_count(), 1u);
+  EXPECT_EQ(design_butterworth_lowpass(2, hertz(10), hertz(1000)).section_count(), 1u);
+  EXPECT_EQ(design_butterworth_lowpass(5, hertz(10), hertz(1000)).section_count(), 3u);
+}
+
+TEST(Butterworth, DesignValidation) {
+  EXPECT_THROW((void)design_butterworth_lowpass(0, hertz(10), hertz(1000)),
+               std::invalid_argument);
+  EXPECT_THROW((void)design_butterworth_lowpass(2, hertz(600), hertz(1000)),
+               std::invalid_argument);
+  EXPECT_THROW((void)design_butterworth_lowpass(2, hertz(0), hertz(1000)),
+               std::invalid_argument);
+}
+
+TEST(ButterworthLowpass, SlowOutputFilterSettlesToStep) {
+  // The paper's 0.1 Hz output filter (at a 10 Hz task rate): step settles.
+  auto f = design_butterworth_lowpass(2, hertz(0.1), hertz(10.0));
+  double y = 0.0;
+  for (int i = 0; i < 1000; ++i) y = f.process(1.0);  // 100 s
+  EXPECT_NEAR(y, 1.0, 1e-3);
+}
+
+TEST(OnePole, StepResponseTimeConstant) {
+  OnePole lp{hertz(1.0), hertz(1000.0)};
+  double y = 0.0;
+  // After 1/(2π·fc) seconds (one time constant), y ≈ 1 − e⁻¹.
+  const int n = static_cast<int>(1000.0 / (2.0 * 3.14159265));
+  for (int i = 0; i < n; ++i) y = lp.process(1.0);
+  EXPECT_NEAR(y, 1.0 - std::exp(-1.0), 0.02);
+}
+
+TEST(OnePole, Validation) {
+  EXPECT_THROW((OnePole{hertz(0.0), hertz(100.0)}), std::invalid_argument);
+  EXPECT_THROW((OnePole{hertz(60.0), hertz(100.0)}), std::invalid_argument);
+}
+
+class LowpassOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LowpassOrderSweep, MagnitudeMonotoneDecreasing) {
+  auto f = design_butterworth_lowpass(GetParam(), hertz(100.0), hertz(4000.0));
+  double prev = 2.0;
+  for (double freq = 1.0; freq < 1900.0; freq *= 1.6) {
+    const double m = f.magnitude(hertz(freq), hertz(4000.0));
+    EXPECT_LT(m, prev + 1e-9) << "freq " << freq;
+    prev = m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, LowpassOrderSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace aqua::dsp

@@ -1,0 +1,104 @@
+#include "dsp/cic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqua::dsp {
+namespace {
+
+TEST(Cic, OutputCadenceMatchesDecimation) {
+  CicDecimator cic{3, 16};
+  int outputs = 0;
+  for (int i = 0; i < 160; ++i)
+    if (cic.push(0.0)) ++outputs;
+  EXPECT_EQ(outputs, 10);
+}
+
+TEST(Cic, ConstantInputMapsToItself) {
+  CicDecimator cic{3, 32};
+  double last = 0.0;
+  for (int i = 0; i < 32 * 10; ++i)
+    if (auto y = cic.push(0.73)) last = *y;
+  EXPECT_NEAR(last, 0.73, 1e-9);
+}
+
+TEST(Cic, RawGainFormula) {
+  const CicDecimator cic{3, 16, 2};
+  EXPECT_DOUBLE_EQ(cic.raw_gain(), std::pow(32.0, 3.0));
+}
+
+TEST(Cic, OutputRate) {
+  const CicDecimator cic{3, 64};
+  EXPECT_DOUBLE_EQ(cic.output_rate(256000.0), 4000.0);
+}
+
+TEST(Cic, BitstreamAverageRecovered) {
+  // A ±1 bitstream with 25% duty of +1 averages to −0.5.
+  CicDecimator cic{2, 16};
+  double last = 0.0;
+  for (int i = 0; i < 16 * 20; ++i) {
+    const double bit = (i % 4 == 0) ? 1.0 : -1.0;
+    if (auto y = cic.push(bit)) last = *y;
+  }
+  EXPECT_NEAR(last, -0.5, 1e-9);
+}
+
+TEST(Cic, SincNullAtOutputRateMultiples) {
+  // A sine exactly at the output rate (fs/R) lands on the first sinc null:
+  // the decimated output is (nearly) constant.
+  constexpr int kR = 32;
+  CicDecimator cic{3, kR};
+  double min_out = 1e9, max_out = -1e9;
+  int count = 0;
+  for (int i = 0; i < kR * 200; ++i) {
+    const double x = std::sin(2.0 * 3.14159265358979 * i / kR);
+    if (auto y = cic.push(x)) {
+      ++count;
+      if (count > 5) {  // skip the fill-in transient
+        min_out = std::min(min_out, *y);
+        max_out = std::max(max_out, *y);
+      }
+    }
+  }
+  EXPECT_LT(max_out - min_out, 1e-9);
+}
+
+TEST(Cic, ResetRestartsPhase) {
+  CicDecimator cic{1, 4};
+  (void)cic.push(1.0);
+  cic.reset();
+  int until_first = 0;
+  while (!cic.push(1.0)) ++until_first;
+  EXPECT_EQ(until_first, 3);  // 4th push yields the sample
+}
+
+TEST(Cic, DifferentialDelayTwoStillUnityDc) {
+  CicDecimator cic{2, 8, 2};
+  double last = 0.0;
+  for (int i = 0; i < 8 * 20; ++i)
+    if (auto y = cic.push(1.0)) last = *y;
+  EXPECT_NEAR(last, 1.0, 1e-9);
+}
+
+TEST(Cic, Validation) {
+  EXPECT_THROW((CicDecimator{0, 8}), std::invalid_argument);
+  EXPECT_THROW((CicDecimator{9, 8}), std::invalid_argument);
+  EXPECT_THROW((CicDecimator{3, 1}), std::invalid_argument);
+  EXPECT_THROW((CicDecimator{3, 8, 3}), std::invalid_argument);
+}
+
+class CicOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CicOrderSweep, DcUnityForAllOrders) {
+  CicDecimator cic{GetParam(), 16};
+  double last = 0.0;
+  for (int i = 0; i < 16 * (GetParam() + 5); ++i)
+    if (auto y = cic.push(-0.4)) last = *y;
+  EXPECT_NEAR(last, -0.4, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, CicOrderSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace aqua::dsp

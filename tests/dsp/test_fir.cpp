@@ -1,0 +1,99 @@
+#include "dsp/fir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace aqua::dsp {
+namespace {
+
+using util::hertz;
+
+TEST(FirDesign, UnityDcGain) {
+  for (auto w : {Window::kRectangular, Window::kHamming, Window::kBlackman}) {
+    const auto taps = design_fir_lowpass(31, hertz(100.0), hertz(2000.0), w);
+    const double sum = std::accumulate(taps.begin(), taps.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(FirDesign, SymmetricTaps) {
+  const auto taps = design_fir_lowpass(21, hertz(100.0), hertz(2000.0));
+  for (std::size_t i = 0; i < taps.size() / 2; ++i)
+    EXPECT_NEAR(taps[i], taps[taps.size() - 1 - i], 1e-12);
+}
+
+TEST(FirDesign, Validation) {
+  EXPECT_THROW((void)design_fir_lowpass(2, hertz(10), hertz(100)),
+               std::invalid_argument);
+  EXPECT_THROW((void)design_fir_lowpass(11, hertz(60), hertz(100)),
+               std::invalid_argument);
+}
+
+TEST(FirFilter, MovingAverageOfStep) {
+  FirFilter f{design_moving_average(4)};
+  EXPECT_DOUBLE_EQ(f.process(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f.process(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(f.process(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(f.process(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.process(1.0), 1.0);
+}
+
+TEST(FirFilter, ImpulseReproducesTaps) {
+  const std::vector<double> taps{0.1, 0.2, 0.4, 0.2, 0.1};
+  FirFilter f{taps};
+  std::vector<double> response;
+  response.push_back(f.process(1.0));
+  for (int i = 0; i < 4; ++i) response.push_back(f.process(0.0));
+  for (std::size_t i = 0; i < taps.size(); ++i)
+    EXPECT_NEAR(response[i], taps[i], 1e-15);
+}
+
+TEST(FirFilter, GroupDelayHalfLength) {
+  FirFilter f{design_fir_lowpass(31, hertz(100.0), hertz(2000.0))};
+  EXPECT_DOUBLE_EQ(f.group_delay(), 15.0);
+}
+
+TEST(FirFilter, StopbandAttenuationHamming) {
+  FirFilter f{design_fir_lowpass(63, hertz(100.0), hertz(2000.0),
+                                 Window::kHamming)};
+  // Well into the stopband (4× cutoff) a 63-tap Hamming design is ≤ −50 dB.
+  const double mag = f.magnitude(hertz(400.0), hertz(2000.0));
+  EXPECT_LT(20.0 * std::log10(mag), -50.0);
+}
+
+TEST(FirFilter, PassbandFlat) {
+  FirFilter f{design_fir_lowpass(63, hertz(200.0), hertz(2000.0))};
+  EXPECT_NEAR(f.magnitude(hertz(20.0), hertz(2000.0)), 1.0, 0.01);
+}
+
+TEST(FirFilter, SineAttenuationMatchesMagnitude) {
+  // Drive with a stopband sine and compare the measured amplitude with the
+  // frequency-response prediction.
+  const double fs = 2000.0, fin = 500.0;
+  FirFilter f{design_fir_lowpass(41, hertz(100.0), hertz(fs))};
+  const double predicted = f.magnitude(hertz(fin), hertz(fs));
+  double peak = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = std::sin(2.0 * 3.14159265358979 * fin * i / fs);
+    const double y = f.process(x);
+    if (i > 100) peak = std::max(peak, std::abs(y));
+  }
+  EXPECT_NEAR(peak, predicted, 0.01);
+}
+
+TEST(FirFilter, ResetClearsState) {
+  FirFilter f{design_moving_average(4)};
+  f.process(4.0);
+  f.reset();
+  EXPECT_DOUBLE_EQ(f.process(0.0), 0.0);
+}
+
+TEST(FirFilter, RejectsEmptyTaps) {
+  EXPECT_THROW(FirFilter{std::vector<double>{}}, std::invalid_argument);
+  EXPECT_THROW((void)design_moving_average(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::dsp

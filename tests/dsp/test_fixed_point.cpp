@@ -1,0 +1,90 @@
+#include "dsp/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqua::dsp {
+namespace {
+
+TEST(Fixed, RoundTripWithinLsb) {
+  for (double v : {0.0, 0.1, -0.7, 3.14159, -100.5}) {
+    const auto q = Q15::from_double(v);
+    EXPECT_NEAR(q.to_double(), v, 1.0 / Q15::kScale);
+  }
+}
+
+TEST(Fixed, Q23HasFinerResolution) {
+  const double v = 1.0 / 65536.0;
+  EXPECT_NEAR(Q23::from_double(v).to_double(), v, 1.0 / Q23::kScale);
+}
+
+TEST(Fixed, AdditionExact) {
+  const auto a = Q15::from_double(1.25);
+  const auto b = Q15::from_double(2.5);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((b - a).to_double(), 1.25);
+}
+
+TEST(Fixed, MultiplicationRounds) {
+  const auto a = Q15::from_double(0.5);
+  const auto b = Q15::from_double(0.25);
+  EXPECT_NEAR((a * b).to_double(), 0.125, 1.0 / Q15::kScale);
+}
+
+TEST(Fixed, SaturatesInsteadOfWrapping) {
+  const auto big = Q15::from_double(70000.0);
+  EXPECT_DOUBLE_EQ(big.to_double(),
+                   static_cast<double>(Q15::kMax) / Q15::kScale);
+  const auto sum = big + big;  // would wrap in int32 without saturation
+  EXPECT_EQ(sum.raw(), Q15::kMax);
+  const auto neg = Q15::from_double(-70000.0);
+  EXPECT_EQ((neg + neg).raw(), Q15::kMin);
+}
+
+TEST(Fixed, Determinism) {
+  // The whole point of the HW/SW "exact match": the same inputs give the same
+  // raw codes, every time.
+  const auto a = Q23::from_double(0.123456);
+  const auto b = Q23::from_double(-0.654321);
+  const auto p1 = (a * b + a).raw();
+  const auto p2 = (Q23::from_double(0.123456) * Q23::from_double(-0.654321) +
+                   Q23::from_double(0.123456))
+                      .raw();
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(Fixed, ComparisonOperators) {
+  EXPECT_LT(Q15::from_double(0.1), Q15::from_double(0.2));
+  EXPECT_EQ(Q15::from_double(0.5), Q15::from_double(0.5));
+}
+
+TEST(QuantizeCode, MidScaleAndExtremes) {
+  EXPECT_EQ(quantize_code(0.0, 1.0, 16), 0);
+  EXPECT_EQ(quantize_code(1.0, 1.0, 16), 32767);
+  EXPECT_EQ(quantize_code(-1.0, 1.0, 16), -32767);
+  EXPECT_EQ(quantize_code(10.0, 1.0, 16), 32767);    // clamps
+  EXPECT_EQ(quantize_code(-10.0, 1.0, 16), -32768);  // clamps
+}
+
+TEST(QuantizeCode, RoundTripWithinLsb) {
+  for (double v : {-0.9, -0.33, 0.0, 0.5, 0.99}) {
+    const auto code = quantize_code(v, 1.0, 16);
+    EXPECT_NEAR(dequantize_code(code, 1.0, 16), v, lsb_size(1.0, 16));
+  }
+}
+
+TEST(QuantizeCode, LsbSizeFormula) {
+  EXPECT_DOUBLE_EQ(lsb_size(1.0, 16), 1.0 / 32767.0);
+  EXPECT_DOUBLE_EQ(lsb_size(2.0, 12), 2.0 / 2047.0);
+}
+
+TEST(QuantizeCode, Validation) {
+  EXPECT_THROW((void)quantize_code(0.0, 0.0, 16), std::invalid_argument);
+  EXPECT_THROW((void)quantize_code(0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)dequantize_code(0, 1.0, 40), std::invalid_argument);
+  EXPECT_THROW((void)lsb_size(-1.0, 16), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::dsp

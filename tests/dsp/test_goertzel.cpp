@@ -1,0 +1,90 @@
+#include "dsp/goertzel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/nco.hpp"
+#include "util/rng.hpp"
+
+namespace aqua::dsp {
+namespace {
+
+using util::hertz;
+
+constexpr double kTwoPi = 6.283185307179586;
+
+TEST(Goertzel, RecoversSineAmplitude) {
+  // 100 Hz bin at 8 kHz over 800 samples (10 full periods: coherent).
+  Goertzel g{hertz(100.0), hertz(8000.0), 800};
+  bool done = false;
+  for (int i = 0; i < 800; ++i)
+    done = g.push(0.75 * std::sin(kTwoPi * 100.0 * i / 8000.0));
+  ASSERT_TRUE(done);
+  EXPECT_NEAR(g.amplitude(), 0.75, 1e-9);
+}
+
+TEST(Goertzel, RecoversPhase) {
+  const double phase_in = 0.6;
+  Goertzel g{hertz(125.0), hertz(8000.0), 640};  // coherent: 10 periods
+  for (int i = 0; i < 640; ++i)
+    g.push(std::cos(kTwoPi * 125.0 * i / 8000.0 + phase_in));
+  EXPECT_NEAR(g.phase(), phase_in, 1e-6);
+}
+
+TEST(Goertzel, RejectsOtherFrequencies) {
+  // A coherent off-bin tone leaks almost nothing.
+  Goertzel g{hertz(100.0), hertz(8000.0), 800};
+  for (int i = 0; i < 800; ++i)
+    g.push(std::sin(kTwoPi * 300.0 * i / 8000.0));
+  EXPECT_LT(g.amplitude(), 1e-9);
+}
+
+TEST(Goertzel, DcBinMeasuresMean) {
+  Goertzel g{hertz(0.0), hertz(1000.0), 100};
+  for (int i = 0; i < 100; ++i) g.push(0.4);
+  // DC bin with the 2/N normalisation reads 2× the mean.
+  EXPECT_NEAR(g.amplitude(), 0.8, 1e-9);
+}
+
+TEST(Goertzel, BlockCadence) {
+  Goertzel g{hertz(50.0), hertz(1000.0), 100};
+  int completions = 0;
+  for (int i = 0; i < 350; ++i)
+    if (g.push(0.0)) ++completions;
+  EXPECT_EQ(completions, 3);
+}
+
+TEST(Goertzel, WorksWithNcoStimulus) {
+  // The BIST pairing: NCO drives, Goertzel detects.
+  Nco nco{hertz(200.0), hertz(16000.0), 0.33};
+  Goertzel g{hertz(200.0), hertz(16000.0), 1600};
+  for (int i = 0; i < 1600; ++i) g.push(nco.next());
+  EXPECT_NEAR(g.amplitude(), 0.33, 1e-3);
+}
+
+TEST(Goertzel, ToleratesNoise) {
+  util::Rng rng{5};
+  Goertzel g{hertz(100.0), hertz(8000.0), 8000};
+  for (int i = 0; i < 8000; ++i)
+    g.push(0.5 * std::sin(kTwoPi * 100.0 * i / 8000.0) + rng.gaussian(0.0, 0.2));
+  EXPECT_NEAR(g.amplitude(), 0.5, 0.02);
+}
+
+TEST(Goertzel, Validation) {
+  EXPECT_THROW((Goertzel{hertz(600.0), hertz(1000.0), 100}),
+               std::invalid_argument);
+  EXPECT_THROW((Goertzel{hertz(10.0), hertz(1000.0), 4}), std::invalid_argument);
+}
+
+TEST(Goertzel, ResetClearsBlock) {
+  Goertzel g{hertz(100.0), hertz(1000.0), 10};
+  for (int i = 0; i < 5; ++i) g.push(1.0);
+  g.reset();
+  int pushes_to_complete = 0;
+  while (!g.push(0.0)) ++pushes_to_complete;
+  EXPECT_EQ(pushes_to_complete, 9);
+}
+
+}  // namespace
+}  // namespace aqua::dsp

@@ -1,0 +1,62 @@
+#include "dsp/median.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqua::dsp {
+namespace {
+
+TEST(Median, PassesConstant) {
+  MedianFilter m{5};
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(m.process(2.5), 2.5);
+}
+
+TEST(Median, KillsSingleSampleSpike) {
+  MedianFilter m{5};
+  for (int i = 0; i < 5; ++i) (void)m.process(1.0);
+  EXPECT_DOUBLE_EQ(m.process(100.0), 1.0);  // spike suppressed outright
+  EXPECT_DOUBLE_EQ(m.process(1.0), 1.0);
+}
+
+TEST(Median, KillsDoubleSpikeWithWindowFive) {
+  MedianFilter m{5};
+  for (int i = 0; i < 5; ++i) (void)m.process(1.0);
+  (void)m.process(100.0);
+  EXPECT_DOUBLE_EQ(m.process(100.0), 1.0);  // 2 of 5 still outvoted
+}
+
+TEST(Median, TracksStep) {
+  MedianFilter m{3};
+  for (int i = 0; i < 3; ++i) (void)m.process(0.0);
+  (void)m.process(1.0);
+  EXPECT_DOUBLE_EQ(m.process(1.0), 1.0);  // majority flipped after 2 samples
+}
+
+TEST(Median, FillInUsesAvailableSamples) {
+  MedianFilter m{5};
+  EXPECT_DOUBLE_EQ(m.process(3.0), 3.0);
+  // Even fill-in count: upper-median convention ({1,3} → 3).
+  EXPECT_DOUBLE_EQ(m.process(1.0), 3.0);
+}
+
+TEST(Median, OddSortedSelection) {
+  MedianFilter m{3};
+  (void)m.process(5.0);
+  (void)m.process(1.0);
+  EXPECT_DOUBLE_EQ(m.process(3.0), 3.0);
+}
+
+TEST(Median, ResetClears) {
+  MedianFilter m{3};
+  (void)m.process(9.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.process(1.0), 1.0);
+}
+
+TEST(Median, Validation) {
+  EXPECT_THROW(MedianFilter{2}, std::invalid_argument);
+  EXPECT_THROW(MedianFilter{4}, std::invalid_argument);
+  EXPECT_THROW(MedianFilter{1}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::dsp

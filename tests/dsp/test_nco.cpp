@@ -1,0 +1,79 @@
+#include "dsp/nco.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqua::dsp {
+namespace {
+
+using util::hertz;
+
+TEST(Nco, MatchesReferenceSine) {
+  Nco nco{hertz(100.0), hertz(10000.0)};
+  double max_err = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double ref = std::sin(2.0 * 3.14159265358979 * 100.0 * i / 10000.0);
+    max_err = std::max(max_err, std::abs(nco.next() - ref));
+  }
+  EXPECT_LT(max_err, 1e-4);  // 10-bit LUT + interpolation
+}
+
+TEST(Nco, AmplitudeScales) {
+  Nco nco{hertz(250.0), hertz(10000.0), 2.5};
+  double peak = 0.0;
+  for (int i = 0; i < 200; ++i) peak = std::max(peak, std::abs(nco.next()));
+  EXPECT_NEAR(peak, 2.5, 0.01);
+}
+
+TEST(Nco, FrequencyReadbackQuantised) {
+  Nco nco{hertz(123.4), hertz(48000.0)};
+  EXPECT_NEAR(nco.frequency().value(), 123.4, 0.01);
+}
+
+TEST(Nco, DcAtZeroFrequency) {
+  Nco nco{hertz(0.0), hertz(1000.0)};
+  for (int i = 0; i < 10; ++i) EXPECT_NEAR(nco.next(), 0.0, 1e-12);
+}
+
+TEST(Nco, MeanIsZeroOverFullPeriods) {
+  Nco nco{hertz(100.0), hertz(10000.0)};
+  double sum = 0.0;
+  for (int i = 0; i < 1000; ++i) sum += nco.next();  // 10 periods
+  EXPECT_NEAR(sum / 1000.0, 0.0, 1e-3);
+}
+
+TEST(Nco, PhaseResetRestarts) {
+  Nco nco{hertz(100.0), hertz(10000.0)};
+  const double first = nco.next();
+  for (int i = 0; i < 37; ++i) (void)nco.next();
+  nco.reset_phase();
+  EXPECT_DOUBLE_EQ(nco.next(), first);
+}
+
+TEST(Nco, RetuneMidStream) {
+  Nco nco{hertz(100.0), hertz(10000.0)};
+  (void)nco.next();
+  nco.set_frequency(hertz(200.0));
+  EXPECT_NEAR(nco.frequency().value(), 200.0, 0.01);
+}
+
+TEST(Nco, RmsMatchesSine) {
+  Nco nco{hertz(50.0), hertz(10000.0)};
+  double acc = 0.0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const double s = nco.next();
+    acc += s * s;
+  }
+  EXPECT_NEAR(std::sqrt(acc / kN), 1.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(Nco, Validation) {
+  EXPECT_THROW((Nco{hertz(600.0), hertz(1000.0)}), std::invalid_argument);
+  EXPECT_THROW((Nco{hertz(-1.0), hertz(1000.0)}), std::invalid_argument);
+  EXPECT_THROW((Nco{hertz(10.0), hertz(0.0)}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::dsp

@@ -1,0 +1,103 @@
+#include "dsp/pid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqua::dsp {
+namespace {
+
+using util::hertz;
+
+TEST(Pid, ProportionalOnly) {
+  PidController pid{{2.0, 0.0, 0.0}, {}, hertz(100.0)};
+  EXPECT_DOUBLE_EQ(pid.update(1.5), 3.0);
+  EXPECT_DOUBLE_EQ(pid.update(-0.5), -1.0);
+}
+
+TEST(Pid, IntegralAccumulates) {
+  PidController pid{{0.0, 10.0, 0.0}, {}, hertz(10.0)};
+  // ki·e·dt = 10·1·0.1 = 1 per step.
+  EXPECT_NEAR(pid.update(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(pid.update(1.0), 2.0, 1e-12);
+  EXPECT_NEAR(pid.update(1.0), 3.0, 1e-12);
+}
+
+TEST(Pid, DerivativeOnErrorSlope) {
+  PidController pid{{0.0, 0.0, 1.0}, {}, hertz(10.0)};
+  (void)pid.update(0.0);
+  // de/dt = 1/0.1 = 10.
+  EXPECT_NEAR(pid.update(1.0), 10.0, 1e-12);
+}
+
+TEST(Pid, DerivativeSkipsFirstSample) {
+  PidController pid{{0.0, 0.0, 1.0}, {}, hertz(10.0)};
+  EXPECT_DOUBLE_EQ(pid.update(5.0), 0.0);  // no slope defined yet
+}
+
+TEST(Pid, OutputClamped) {
+  PidController pid{{10.0, 0.0, 0.0}, {-1.0, 1.0}, hertz(100.0)};
+  EXPECT_DOUBLE_EQ(pid.update(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(pid.update(-10.0), -1.0);
+}
+
+TEST(Pid, AntiWindupRecoversQuickly) {
+  // Saturate hard with the integrator for a while, then reverse the error:
+  // a wound-up controller would take ~100 steps to come off the rail; the
+  // conditional anti-windup comes off in a few.
+  PidController pid{{0.0, 10.0, 0.0}, {-1.0, 1.0}, hertz(10.0)};
+  for (int i = 0; i < 100; ++i) (void)pid.update(5.0);
+  EXPECT_DOUBLE_EQ(pid.output(), 1.0);
+  int steps = 0;
+  while (pid.update(-1.0) >= 1.0 && steps < 50) ++steps;
+  EXPECT_LT(steps, 3);
+}
+
+TEST(Pid, IntegratorUnwindsWhileSaturatedWithOpposingError) {
+  PidController pid{{0.0, 10.0, 0.0}, {-1.0, 1.0}, hertz(10.0)};
+  for (int i = 0; i < 10; ++i) (void)pid.update(1.0);
+  const double wound = pid.integrator();
+  (void)pid.update(-0.5);  // still saturated high, but unwinding allowed
+  EXPECT_LT(pid.integrator(), wound);
+}
+
+TEST(Pid, ResetPreloadsIntegrator) {
+  PidController pid{{1.0, 1.0, 0.0}, {0.0, 2.0}, hertz(10.0)};
+  pid.reset(0.7);
+  EXPECT_DOUBLE_EQ(pid.output(), 0.7);
+  EXPECT_NEAR(pid.update(0.0), 0.7, 1e-12);  // bumpless
+}
+
+TEST(Pid, ResetClampsToLimits) {
+  PidController pid{{1.0, 1.0, 0.0}, {0.0, 1.0}, hertz(10.0)};
+  pid.reset(5.0);
+  EXPECT_DOUBLE_EQ(pid.output(), 1.0);
+}
+
+TEST(Pid, ClosedLoopFirstOrderPlantConverges) {
+  // Plant: y' = (u − y)/tau discretised; PI must drive y → setpoint.
+  PidController pid{{0.8, 4.0, 0.0}, {0.0, 10.0}, hertz(100.0)};
+  double y = 0.0;
+  const double setpoint = 2.0, dt = 0.01, tau = 0.2;
+  for (int i = 0; i < 2000; ++i) {
+    const double u = pid.update(setpoint - y);
+    y += dt * (u - y) / tau;
+  }
+  EXPECT_NEAR(y, setpoint, 1e-3);
+}
+
+TEST(Pid, Validation) {
+  EXPECT_THROW((PidController{{1, 0, 0}, {}, hertz(0.0)}), std::invalid_argument);
+  EXPECT_THROW((PidController{{1, 0, 0}, {1.0, -1.0}, hertz(10.0)}),
+               std::invalid_argument);
+}
+
+TEST(Pid, GainsAccessors) {
+  PidController pid{{1.0, 2.0, 3.0}, {}, hertz(10.0)};
+  EXPECT_DOUBLE_EQ(pid.gains().ki, 2.0);
+  pid.set_gains({4.0, 5.0, 6.0});
+  EXPECT_DOUBLE_EQ(pid.gains().kp, 4.0);
+}
+
+}  // namespace
+}  // namespace aqua::dsp

@@ -1,0 +1,100 @@
+#include "hydro/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqua::hydro {
+namespace {
+
+using util::celsius;
+using util::metres_per_second;
+using util::millimetres;
+
+const auto kWater = phys::water_properties(celsius(15.0));
+
+TEST(PipeReynolds, TypicalLineValues) {
+  // 1 m/s in an 80 mm pipe at 15 °C: Re ≈ 70k — fully turbulent.
+  const double re = pipe_reynolds(kWater, metres_per_second(1.0),
+                                  millimetres(80.0));
+  EXPECT_GT(re, 5e4);
+  EXPECT_LT(re, 1e5);
+}
+
+TEST(ProfileFactor, LaminarCentrelineIsTwiceMean) {
+  EXPECT_NEAR(centreline_factor(500.0), 2.0, 0.01);
+}
+
+TEST(ProfileFactor, TurbulentCentrelineNearOnePointTwo) {
+  EXPECT_NEAR(centreline_factor(1e5), 1.224, 0.01);
+}
+
+TEST(ProfileFactor, VanishesAtWall) {
+  EXPECT_LT(profile_factor(500.0, 1.0), 0.01);
+  EXPECT_LT(profile_factor(1e5, 1.0), 0.2);
+}
+
+TEST(ProfileFactor, MonotoneFromAxisToWall) {
+  for (double re : {500.0, 1e4, 1e6}) {
+    double prev = 10.0;
+    for (double r = 0.0; r <= 1.0; r += 0.1) {
+      const double f = profile_factor(re, r);
+      EXPECT_LE(f, prev + 1e-9) << "re " << re << " r " << r;
+      prev = f;
+    }
+  }
+}
+
+TEST(ProfileFactor, TurbulentProfileFlatterThanLaminar) {
+  // At 70 % radius, turbulent flow retains more of the mean than laminar.
+  EXPECT_GT(profile_factor(1e5, 0.7), profile_factor(500.0, 0.7));
+}
+
+TEST(FrictionFactor, LaminarIs64OverRe) {
+  EXPECT_NEAR(darcy_friction_factor(1000.0, 0.0), 0.064, 1e-4);
+}
+
+TEST(FrictionFactor, TurbulentSmoothPipeRange) {
+  const double f = darcy_friction_factor(1e5, 1e-5);
+  EXPECT_GT(f, 0.015);
+  EXPECT_LT(f, 0.025);
+}
+
+TEST(FrictionFactor, RoughnessIncreasesFriction) {
+  EXPECT_GT(darcy_friction_factor(1e5, 1e-3),
+            darcy_friction_factor(1e5, 1e-6));
+}
+
+TEST(FrictionFactor, RejectsNegativeRoughness) {
+  EXPECT_THROW((void)darcy_friction_factor(1e5, -0.1), std::invalid_argument);
+}
+
+TEST(PressureDrop, QuadraticInVelocityWhenTurbulent) {
+  const auto dp1 = pressure_drop(kWater, metres_per_second(1.0),
+                                 millimetres(80.0), util::metres(100.0), 1e-5);
+  const auto dp2 = pressure_drop(kWater, metres_per_second(2.0),
+                                 millimetres(80.0), util::metres(100.0), 1e-5);
+  const double ratio = dp2.value() / dp1.value();
+  EXPECT_GT(ratio, 3.4);  // slightly under 4 because f falls with Re
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(PressureDrop, SignFollowsFlowDirection) {
+  const auto fwd = pressure_drop(kWater, metres_per_second(1.0),
+                                 millimetres(80.0), util::metres(10.0), 1e-5);
+  const auto rev = pressure_drop(kWater, metres_per_second(-1.0),
+                                 millimetres(80.0), util::metres(10.0), 1e-5);
+  EXPECT_GT(fwd.value(), 0.0);
+  EXPECT_NEAR(rev.value(), -fwd.value(), 1e-9);
+}
+
+TEST(PressureDrop, RealisticMagnitude) {
+  // 1 m/s through 100 m of 80 mm pipe: ~0.2-0.3 bar.
+  const auto dp = pressure_drop(kWater, metres_per_second(1.0),
+                                millimetres(80.0), util::metres(100.0), 1e-4);
+  EXPECT_GT(util::to_bar(dp), 0.1);
+  EXPECT_LT(util::to_bar(dp), 0.5);
+}
+
+}  // namespace
+}  // namespace aqua::hydro

@@ -1,0 +1,130 @@
+#include "hydro/water_line.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqua::hydro {
+namespace {
+
+using util::Rng;
+using util::Seconds;
+
+WaterLineConfig quiet_line() {
+  WaterLineConfig cfg;
+  cfg.turbulence_intensity = 0.0;
+  cfg.hammer_bar_per_mps = 0.0;
+  cfg.valve_tau = Seconds{0.1};
+  return cfg;
+}
+
+TEST(WaterLine, FollowsSpeedScheduleThroughValveLag) {
+  WaterLine line{quiet_line(), Rng{1}};
+  sim::Schedule speed{0.0};
+  speed.step_to(1.0, Seconds{10.0});
+  line.set_speed_schedule(speed);
+  for (int i = 0; i < 100; ++i) line.step(Seconds{0.05});  // 5 s >> tau
+  EXPECT_NEAR(line.mean_velocity().value(), 1.0, 1e-6);
+}
+
+TEST(WaterLine, ValveLagSlowsStep) {
+  WaterLineConfig cfg = quiet_line();
+  cfg.valve_tau = Seconds{2.0};
+  WaterLine line{cfg, Rng{2}};
+  sim::Schedule speed{0.0};
+  speed.step_to(1.0, Seconds{10.0});
+  line.set_speed_schedule(speed);
+  line.step(Seconds{0.5});
+  EXPECT_LT(line.mean_velocity().value(), 0.5);
+  EXPECT_GT(line.mean_velocity().value(), 0.05);
+}
+
+TEST(WaterLine, ProbeVelocityAboveMeanOnAxis) {
+  WaterLine line{quiet_line(), Rng{3}};
+  sim::Schedule speed{0.0};
+  speed.step_to(1.0, Seconds{30.0});
+  line.set_speed_schedule(speed);
+  for (int i = 0; i < 200; ++i) line.step(Seconds{0.05});
+  // Turbulent profile: centreline ≈ 1.22× mean.
+  EXPECT_NEAR(line.probe_velocity().value() / line.mean_velocity().value(),
+              1.22, 0.05);
+}
+
+TEST(WaterLine, TurbulenceAddsFluctuation) {
+  WaterLineConfig cfg = quiet_line();
+  cfg.turbulence_intensity = 0.05;
+  WaterLine line{cfg, Rng{4}};
+  sim::Schedule speed{0.0};
+  speed.step_to(1.5, Seconds{100.0});
+  line.set_speed_schedule(speed);
+  for (int i = 0; i < 100; ++i) line.step(Seconds{0.05});
+  double min_v = 1e9, max_v = -1e9;
+  for (int i = 0; i < 2000; ++i) {
+    line.step(Seconds{0.01});
+    const double v = line.probe_velocity().value();
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  EXPECT_GT(max_v - min_v, 0.05);  // visible fluctuation
+  EXPECT_LT(max_v - min_v, 1.0);   // but bounded
+}
+
+TEST(WaterLine, PressureScheduleFollowed) {
+  WaterLine line{quiet_line(), Rng{5}};
+  sim::Schedule pressure{util::bar(2.0).value()};
+  pressure.step_to(util::bar(3.0).value(), Seconds{10.0});
+  line.set_pressure_schedule(pressure);
+  line.step(Seconds{1.0});
+  EXPECT_NEAR(util::to_bar(line.pressure()), 3.0, 1e-9);
+}
+
+TEST(WaterLine, WaterHammerSpikesOnFastValveMoves) {
+  WaterLineConfig cfg = quiet_line();
+  cfg.hammer_bar_per_mps = 2.0;
+  cfg.valve_tau = Seconds{0.05};  // aggressive valve
+  WaterLine line{cfg, Rng{6}};
+  sim::Schedule speed{0.0};
+  speed.step_to(2.0, Seconds{20.0});
+  line.set_speed_schedule(speed);
+  double peak = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    line.step(Seconds{0.01});
+    peak = std::max(peak, util::to_bar(line.pressure()));
+  }
+  EXPECT_GT(peak, 2.5);  // well above the 2 bar static line
+  // And it decays back toward static.
+  for (int i = 0; i < 1000; ++i) line.step(Seconds{0.01});
+  EXPECT_NEAR(util::to_bar(line.pressure()), 2.0, 0.1);
+}
+
+TEST(WaterLine, TemperatureScheduleFollowed) {
+  WaterLine line{quiet_line(), Rng{7}};
+  sim::Schedule temp{util::celsius(15.0).value()};
+  temp.ramp_to(util::celsius(25.0).value(), Seconds{10.0});
+  line.set_temperature_schedule(temp);
+  for (int i = 0; i < 100; ++i) line.step(Seconds{0.05});
+  EXPECT_NEAR(util::to_celsius(line.temperature()), 20.0, 0.2);
+}
+
+TEST(WaterLine, EnvironmentSnapshotConsistent) {
+  WaterLine line{quiet_line(), Rng{8}};
+  sim::Schedule speed{0.0};
+  speed.step_to(0.8, Seconds{60.0});
+  line.set_speed_schedule(speed);
+  for (int i = 0; i < 400; ++i) line.step(Seconds{0.05});
+  const maf::Environment env = line.environment();
+  EXPECT_DOUBLE_EQ(env.speed.value(), line.probe_velocity().value());
+  EXPECT_DOUBLE_EQ(env.pressure.value(), line.pressure().value());
+  EXPECT_DOUBLE_EQ(env.fluid_temperature.value(), line.temperature().value());
+  EXPECT_EQ(env.medium, phys::Medium::kWater);
+}
+
+TEST(WaterLine, ClockAdvances) {
+  WaterLine line{quiet_line(), Rng{9}};
+  line.step(Seconds{0.25});
+  line.step(Seconds{0.25});
+  EXPECT_DOUBLE_EQ(line.now().value(), 0.5);
+}
+
+}  // namespace
+}  // namespace aqua::hydro

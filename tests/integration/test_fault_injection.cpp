@@ -1,0 +1,148 @@
+// Fault injection across module boundaries: the failure modes the paper's
+// packaging/driving choices guard against, driven end-to-end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/drive_modes.hpp"
+#include "core/rig.hpp"
+
+namespace aqua::cta {
+namespace {
+
+using util::Seconds;
+
+maf::Environment aggressive_water(double v = 0.3) {
+  maf::Environment env;
+  env.speed = util::metres_per_second(v);
+  env.fluid_temperature = util::celsius(15.0);
+  env.pressure = util::bar(1.0);              // low pressure: easy outgassing
+  env.dissolved_gas_saturation = 1.0;
+  env.chemistry = phys::WaterChemistry{320.0, 260.0, 7.9};  // hard water
+  return env;
+}
+
+TEST(FaultInjection, ContinuousHighOvertemperatureGrowsBubblesAndBiasesReading) {
+  // Fig. 7 failure mode: continuous bias + high ΔT at low pressure.
+  CtaConfig hot;
+  hot.overtemperature = util::kelvin(22.0);
+  util::Rng rng{3};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), hot, rng};
+  const auto env = aggressive_water();
+  anemo.run(Seconds{2.0}, env);
+  const double u_clean = anemo.bridge_voltage();
+  // Long exposure (fouling acts on real time; run 60 s of loop time).
+  anemo.run(Seconds{60.0}, env);
+  EXPECT_GT(anemo.die().fouling_a().bubble_coverage(), 0.05);
+  // Insulating bubbles reduce required drive → reading sags (invalid flow).
+  EXPECT_LT(anemo.bridge_voltage(), u_clean * 0.99);
+}
+
+TEST(FaultInjection, ReducedOvertemperatureStaysClean) {
+  // The paper's mitigation: reduced overtemperature vs water.
+  CtaConfig cool;
+  cool.overtemperature = util::kelvin(5.0);
+  util::Rng rng{4};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), cool, rng};
+  anemo.run(Seconds{60.0}, aggressive_water());
+  EXPECT_DOUBLE_EQ(anemo.die().fouling_a().bubble_coverage(), 0.0);
+}
+
+TEST(FaultInjection, PulsedDriveReducesBubbleGrowth) {
+  const auto env = aggressive_water();
+  CtaConfig cont;
+  cont.overtemperature = util::kelvin(22.0);
+  util::Rng r1{5};
+  CtaAnemometer continuous{maf::MafSpec{}, fast_isif_config(), cont, r1};
+  continuous.run(Seconds{45.0}, env);
+
+  CtaConfig pulsed = cont;
+  pulsed.pulse.enabled = true;
+  pulsed.pulse.period = Seconds{0.05};
+  pulsed.pulse.duty = 0.35;
+  util::Rng r2{5};
+  CtaAnemometer gated{maf::MafSpec{}, fast_isif_config(), pulsed, r2};
+  gated.run(Seconds{45.0}, env);
+
+  EXPECT_LT(gated.die().fouling_a().bubble_coverage(),
+            0.6 * continuous.die().fouling_a().bubble_coverage());
+}
+
+TEST(FaultInjection, PressurePeakDoesNotBreakQualifiedSensor) {
+  // E9 scenario: 7 bar peak on the organic-filled membrane.
+  util::Rng rng{6};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  maf::Environment env = aggressive_water(1.0);
+  anemo.run(Seconds{1.0}, env);
+  env.pressure = util::bar(7.0);
+  anemo.run(Seconds{1.0}, env);
+  env.pressure = util::bar(2.0);
+  anemo.run(Seconds{1.0}, env);
+  EXPECT_TRUE(anemo.status().membrane_intact);
+}
+
+TEST(FaultInjection, UnfilledMembraneDiesOnFirstPressurisation) {
+  maf::MafSpec open_spec{};
+  open_spec.membrane.backside_filled = false;
+  util::Rng rng{7};
+  CtaAnemometer anemo{open_spec, fast_isif_config(), CtaConfig{}, rng};
+  maf::Environment env = aggressive_water(0.5);
+  env.pressure = util::bar(2.5);  // an ordinary line pressure is fatal
+  anemo.run(Seconds{0.5}, env);
+  EXPECT_FALSE(anemo.status().membrane_intact);
+}
+
+TEST(FaultInjection, MonthsOfScalingOnBareDieBiasesQuasiStaticReading) {
+  // Fig. 8 failure mode, quasi-static path: a bare (unpassivated) hot die in
+  // hard water accumulates CaCO3; the CT supply for the same flow drifts.
+  maf::MafSpec bare{};
+  bare.fouling.scaling.surface_reactivity = 1.0;
+  CtaConfig hot;
+  hot.overtemperature = util::kelvin(25.0);
+  maf::MafDie die{bare};
+  maf::Environment env = aggressive_water(0.8);
+  env.pressure = util::bar(2.5);  // suppress bubbles; isolate scaling
+
+  const auto before = solve_constant_temperature(die, env, hot);
+  // Three months at temperature: advance fouling with the wall held hot.
+  for (int h = 0; h < 90 * 24; ++h)
+    die.fouling_a().step(Seconds{3600.0},
+                         util::Kelvin{env.fluid_temperature.value() + 25.0},
+                         env);
+  const auto after = solve_constant_temperature(die, env, hot);
+  EXPECT_GT(die.fouling_a().deposit_thickness(), 0.5e-6);
+  EXPECT_NE(after.supply_v, before.supply_v);
+  EXPECT_LT(after.supply_v, before.supply_v);  // deposit insulates → less drive
+}
+
+TEST(FaultInjection, PassivatedLowTempDieShowsNoDrift) {
+  // The paper's §5 result: "no deposit of calcium carbonate" after months.
+  maf::MafSpec passivated{};  // default: SiN reactivity 0.02
+  passivated.fouling.scaling.surface_reactivity = 0.02;
+  CtaConfig cool;
+  cool.overtemperature = util::kelvin(5.0);
+  maf::MafDie die{passivated};
+  maf::Environment env = aggressive_water(0.8);
+  env.pressure = util::bar(2.5);
+
+  const auto before = solve_constant_temperature(die, env, cool);
+  for (int h = 0; h < 90 * 24; ++h)
+    die.fouling_a().step(Seconds{3600.0},
+                         util::Kelvin{env.fluid_temperature.value() + 5.0}, env);
+  const auto after = solve_constant_temperature(die, env, cool);
+  EXPECT_LT(die.fouling_a().deposit_thickness(), 0.1e-6);
+  EXPECT_NEAR(after.supply_v, before.supply_v, 0.01 * before.supply_v);
+}
+
+TEST(FaultInjection, CorrodedPackageReportsUnhealthy) {
+  maf::PackageSpec bad{};
+  bad.sealing_quality = 0.1;
+  bad.corrosion_rate = 5e-6;
+  maf::Package pkg{bad, util::Rng{8}};
+  for (int day = 0; day < 120; ++day) pkg.step(Seconds{86400.0}, util::bar(3.0));
+  EXPECT_FALSE(pkg.healthy());
+  EXPECT_GT(pkg.leakage_current(util::volts(4.0)).value(), 1e-7);
+}
+
+}  // namespace
+}  // namespace aqua::cta

@@ -1,0 +1,68 @@
+#include "isif/dac_ctrl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqua::isif {
+namespace {
+
+using util::Rng;
+using util::Seconds;
+using util::volts;
+
+analog::ThermometerDacSpec fast_spec() {
+  analog::ThermometerDacSpec s;
+  s.bits = 12;
+  s.full_scale = volts(4.0);
+  s.element_mismatch_sigma = 0.0;
+  s.settling_tau = Seconds{0.0};
+  return s;
+}
+
+TEST(DacController, UnlimitedSlewJumpsImmediately) {
+  DacController ctl{fast_spec(), Rng{1}, 0};
+  ctl.request_code(3000);
+  (void)ctl.update(Seconds{1e-6});
+  EXPECT_EQ(ctl.current_code(), 3000);
+}
+
+TEST(DacController, SlewLimitedApproach) {
+  DacController ctl{fast_spec(), Rng{1}, 100};
+  ctl.request_code(1000);
+  (void)ctl.update(Seconds{1e-6});
+  EXPECT_EQ(ctl.current_code(), 100);
+  for (int i = 0; i < 8; ++i) (void)ctl.update(Seconds{1e-6});
+  EXPECT_EQ(ctl.current_code(), 900);
+  for (int i = 0; i < 5; ++i) (void)ctl.update(Seconds{1e-6});
+  EXPECT_EQ(ctl.current_code(), 1000);  // clamps at target
+}
+
+TEST(DacController, SlewWorksDownward) {
+  DacController ctl{fast_spec(), Rng{1}, 50};
+  ctl.request_code(200);
+  for (int i = 0; i < 10; ++i) (void)ctl.update(Seconds{1e-6});
+  ctl.request_code(0);
+  (void)ctl.update(Seconds{1e-6});
+  EXPECT_EQ(ctl.current_code(), 150);
+}
+
+TEST(DacController, RequestVoltageMapsToCode) {
+  DacController ctl{fast_spec(), Rng{1}, 0};
+  ctl.request_voltage(volts(2.0));
+  (void)ctl.update(Seconds{1e-6});
+  EXPECT_NEAR(ctl.dac().static_output().value(), 2.0, 4.0 / 4095.0);
+}
+
+TEST(DacController, TargetClamped) {
+  DacController ctl{fast_spec(), Rng{1}, 0};
+  ctl.request_code(999999);
+  EXPECT_EQ(ctl.target_code(), 4095);
+  ctl.request_code(-10);
+  EXPECT_EQ(ctl.target_code(), 0);
+}
+
+TEST(DacController, RejectsNegativeSlew) {
+  EXPECT_THROW((DacController{fast_spec(), Rng{1}, -1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::isif

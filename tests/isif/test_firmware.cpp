@@ -1,0 +1,74 @@
+#include "isif/firmware.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqua::isif {
+namespace {
+
+using util::hertz;
+
+TEST(Firmware, TasksRunAtDivisors) {
+  Firmware fw{LeonSpec{}, hertz(2000.0)};
+  int fast = 0, slow = 0;
+  fw.add_task("fast", 1, 100, [&] { ++fast; });
+  fw.add_task("slow", 10, 100, [&] { ++slow; });
+  for (int i = 0; i < 100; ++i) fw.tick();
+  EXPECT_EQ(fast, 100);
+  EXPECT_EQ(slow, 10);
+}
+
+TEST(Firmware, LoadAccounting) {
+  // Budget: 40e6 / 2000 = 20000 cycles per tick. A 2000-cycle task every
+  // tick is 10 % load.
+  Firmware fw{LeonSpec{}, hertz(2000.0)};
+  fw.add_task("law", 1, 2000, [] {});
+  for (int i = 0; i < 50; ++i) fw.tick();
+  EXPECT_NEAR(fw.average_load(), 0.10, 1e-9);
+  EXPECT_NEAR(fw.peak_load(), 0.10, 1e-9);
+  EXPECT_FALSE(fw.watchdog_tripped());
+}
+
+TEST(Firmware, PeakVsAverageWithSlowTask) {
+  Firmware fw{LeonSpec{}, hertz(2000.0)};
+  fw.add_task("base", 1, 1000, [] {});
+  fw.add_task("burst", 10, 10000, [] {});
+  for (int i = 0; i < 100; ++i) fw.tick();
+  EXPECT_NEAR(fw.average_load(), (1000.0 + 1000.0) / 20000.0, 1e-9);
+  EXPECT_NEAR(fw.peak_load(), 11000.0 / 20000.0, 1e-9);
+}
+
+TEST(Firmware, WatchdogTripsOnOverrun) {
+  Firmware fw{LeonSpec{}, hertz(2000.0)};
+  fw.add_task("hog", 1, 30000, [] {});  // > 20000-cycle budget
+  fw.tick();
+  EXPECT_TRUE(fw.watchdog_tripped());
+}
+
+TEST(Firmware, TickCountsAndRateAccessors) {
+  Firmware fw{LeonSpec{}, hertz(500.0)};
+  for (int i = 0; i < 7; ++i) fw.tick();
+  EXPECT_EQ(fw.ticks(), 7);
+  EXPECT_DOUBLE_EQ(fw.base_rate().value(), 500.0);
+}
+
+TEST(Firmware, Validation) {
+  EXPECT_THROW((Firmware{LeonSpec{}, hertz(0.0)}), std::invalid_argument);
+  Firmware fw{LeonSpec{}, hertz(100.0)};
+  EXPECT_THROW(fw.add_task("x", 0, 10, [] {}), std::invalid_argument);
+  EXPECT_THROW(fw.add_task("x", 1, -1, [] {}), std::invalid_argument);
+}
+
+TEST(Firmware, PaperScaleControlLoopIsLightLoad) {
+  // The MAF conditioning firmware (PI + two filters) at 2 kHz must be a small
+  // fraction of a 40 MHz LEON — that is what makes software IPs viable.
+  Firmware fw{LeonSpec{}, hertz(2000.0)};
+  fw.add_task("pi", 1, 95, [] {});
+  fw.add_task("dir", 1, 72, [] {});
+  fw.add_task("iir", 200, 114, [] {});
+  for (int i = 0; i < 2000; ++i) fw.tick();
+  EXPECT_LT(fw.average_load(), 0.02);
+  EXPECT_FALSE(fw.watchdog_tripped());
+}
+
+}  // namespace
+}  // namespace aqua::isif

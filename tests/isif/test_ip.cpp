@@ -1,0 +1,126 @@
+#include "isif/ip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace aqua::isif {
+namespace {
+
+using util::hertz;
+
+TEST(IirIp, HardwareAndBitExactSoftwareMatch) {
+  // The paper's §3 claim: software IPs have "an exact matching with hardware
+  // devices". Same Q23 datapath → identical outputs, bit for bit.
+  const std::vector<dsp::BiquadCoefficients> sections{
+      {0.02008, 0.04017, 0.02008, -1.56102, 0.64135}};  // ~ fc/fs = 0.05 LP
+  IirIp hw{sections, IpImpl::kHardwareFixed};
+  IirIp sw{sections, IpImpl::kSoftwareFixed};
+  for (int i = 0; i < 500; ++i) {
+    const double x = std::sin(0.1 * i) * 0.5;
+    ASSERT_DOUBLE_EQ(hw.process(x), sw.process(x)) << "sample " << i;
+  }
+}
+
+TEST(IirIp, FloatPrototypeDiffersFromSiliconSlightly) {
+  const std::vector<dsp::BiquadCoefficients> sections{
+      {0.02008, 0.04017, 0.02008, -1.56102, 0.64135}};
+  IirIp hw{sections, IpImpl::kHardwareFixed};
+  IirIp fl{sections, IpImpl::kSoftwareFloat};
+  double max_diff = 0.0, max_val = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double x = std::sin(0.1 * i) * 0.5;
+    const double a = hw.process(x), b = fl.process(x);
+    max_diff = std::max(max_diff, std::abs(a - b));
+    max_val = std::max(max_val, std::abs(b));
+  }
+  EXPECT_GT(max_diff, 0.0);            // not bit-identical
+  EXPECT_LT(max_diff, 1e-3 * max_val + 1e-4);  // but functionally equivalent
+}
+
+TEST(IirIp, CycleCostsFollowImplementation) {
+  const std::vector<dsp::BiquadCoefficients> two_sections{
+      {1, 0, 0, 0, 0}, {1, 0, 0, 0, 0}};
+  const CycleCosts costs{};
+  EXPECT_EQ(IirIp(two_sections, IpImpl::kHardwareFixed).cycles_per_sample(), 0);
+  EXPECT_EQ(IirIp(two_sections, IpImpl::kSoftwareFixed).cycles_per_sample(),
+            costs.sample_overhead + 2 * costs.per_biquad_section);
+  EXPECT_EQ(IirIp(two_sections, IpImpl::kSoftwareFloat).cycles_per_sample(),
+            costs.sample_overhead + 2 * costs.per_biquad_section);
+}
+
+TEST(IirIp, DcGainPreservedInFixedPoint) {
+  const std::vector<dsp::BiquadCoefficients> sections{
+      {0.00024132, 0.00048264, 0.00024132, -1.95558, 0.95654}};
+  IirIp hw{sections, IpImpl::kHardwareFixed};
+  double y = 0.0;
+  for (int i = 0; i < 20000; ++i) y = hw.process(0.5);
+  EXPECT_NEAR(y, 0.5, 0.01);
+}
+
+TEST(IirIp, ResetClearsBothPaths) {
+  const std::vector<dsp::BiquadCoefficients> sections{
+      {0.1, 0.0, 0.0, -0.9, 0.0}};
+  IirIp ip{sections, IpImpl::kSoftwareFixed};
+  for (int i = 0; i < 50; ++i) (void)ip.process(1.0);
+  ip.reset();
+  EXPECT_NEAR(ip.process(0.0), 0.0, 1e-12);
+}
+
+TEST(IirIp, RejectsEmptySections) {
+  EXPECT_THROW((IirIp{{}, IpImpl::kHardwareFixed}), std::invalid_argument);
+}
+
+TEST(PiIp, HardwareAndBitExactSoftwareMatch) {
+  const dsp::PidGains gains{0.5, 20.0, 0.0};
+  const dsp::PidLimits limits{0.0, 1.0};
+  PiIp hw{gains, limits, hertz(2000.0), IpImpl::kHardwareFixed};
+  PiIp sw{gains, limits, hertz(2000.0), IpImpl::kSoftwareFixed};
+  for (int i = 0; i < 2000; ++i) {
+    const double e = 0.1 * std::sin(0.01 * i);
+    ASSERT_DOUBLE_EQ(hw.update(e), sw.update(e)) << "sample " << i;
+  }
+}
+
+TEST(PiIp, FloatPathTracksFixedClosely) {
+  const dsp::PidGains gains{0.5, 20.0, 0.0};
+  const dsp::PidLimits limits{0.0, 1.0};
+  PiIp fx{gains, limits, hertz(2000.0), IpImpl::kHardwareFixed};
+  PiIp fl{gains, limits, hertz(2000.0), IpImpl::kSoftwareFloat};
+  double max_diff = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double e = 0.05 * std::sin(0.01 * i) + 0.01;
+    max_diff = std::max(max_diff, std::abs(fx.update(e) - fl.update(e)));
+  }
+  EXPECT_LT(max_diff, 0.01);
+}
+
+TEST(PiIp, SaturatesAtLimits) {
+  PiIp ip{{0.0, 100.0, 0.0}, {0.0, 1.0}, hertz(100.0), IpImpl::kSoftwareFixed};
+  double u = 0.0;
+  for (int i = 0; i < 1000; ++i) u = ip.update(1.0);
+  EXPECT_DOUBLE_EQ(u, 1.0);
+  // And recovers when the error flips (anti-windup).
+  int steps = 0;
+  while (ip.update(-0.5) >= 1.0 && steps < 100) ++steps;
+  EXPECT_LT(steps, 5);
+}
+
+TEST(PiIp, ResetPreloads) {
+  PiIp ip{{0.2, 10.0, 0.0}, {0.0, 1.0}, hertz(100.0), IpImpl::kSoftwareFloat};
+  ip.reset(0.4);
+  EXPECT_NEAR(ip.output(), 0.4, 1e-6);
+  EXPECT_NEAR(ip.update(0.0), 0.4, 1e-6);
+}
+
+TEST(PiIp, CycleCosts) {
+  const CycleCosts costs{};
+  PiIp hw{{1, 1, 0}, {}, hertz(100.0), IpImpl::kHardwareFixed};
+  PiIp sw{{1, 1, 0}, {}, hertz(100.0), IpImpl::kSoftwareFixed};
+  EXPECT_EQ(hw.cycles_per_sample(), 0);
+  EXPECT_EQ(sw.cycles_per_sample(), costs.sample_overhead + costs.pi_controller);
+}
+
+}  // namespace
+}  // namespace aqua::isif

@@ -1,0 +1,70 @@
+#include "isif/registers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqua::isif {
+namespace {
+
+TEST(Registers, DefineAndRawAccess) {
+  RegisterFile regs;
+  regs.define("CTRL", {{"en", 0, 1}, {"gain", 1, 3}});
+  EXPECT_TRUE(regs.has("CTRL"));
+  EXPECT_FALSE(regs.has("NOPE"));
+  EXPECT_EQ(regs.read_raw("CTRL"), 0u);
+  regs.write_raw("CTRL", 0xF);
+  EXPECT_EQ(regs.read_raw("CTRL"), 0xFu);
+}
+
+TEST(Registers, FieldPackingIsolated) {
+  RegisterFile regs;
+  regs.define("CFG", {{"lo", 0, 4}, {"hi", 4, 4}});
+  regs.write_field("CFG", "lo", 0x5);
+  regs.write_field("CFG", "hi", 0xA);
+  EXPECT_EQ(regs.read_raw("CFG"), 0xA5u);
+  EXPECT_EQ(regs.read_field("CFG", "lo"), 0x5u);
+  EXPECT_EQ(regs.read_field("CFG", "hi"), 0xAu);
+  // Rewriting one field leaves the other intact.
+  regs.write_field("CFG", "lo", 0x1);
+  EXPECT_EQ(regs.read_field("CFG", "hi"), 0xAu);
+}
+
+TEST(Registers, OversizedFieldValueRejected) {
+  RegisterFile regs;
+  regs.define("R", {{"f", 0, 2}});
+  EXPECT_THROW(regs.write_field("R", "f", 4), std::invalid_argument);
+  regs.write_field("R", "f", 3);  // max value fits
+  EXPECT_EQ(regs.read_field("R", "f"), 3u);
+}
+
+TEST(Registers, UnknownRegisterOrFieldThrows) {
+  RegisterFile regs;
+  regs.define("R", {{"f", 0, 2}});
+  EXPECT_THROW((void)regs.read_raw("X"), std::out_of_range);
+  EXPECT_THROW(regs.write_field("R", "g", 0), std::out_of_range);
+}
+
+TEST(Registers, DuplicateAndBadGeometryRejected) {
+  RegisterFile regs;
+  regs.define("R", {{"f", 0, 2}});
+  EXPECT_THROW(regs.define("R", {}), std::invalid_argument);
+  EXPECT_THROW(regs.define("B", {{"f", 30, 4}}), std::invalid_argument);
+  EXPECT_THROW(regs.define("C", {{"f", 0, 0}}), std::invalid_argument);
+}
+
+TEST(Registers, FullWidthField) {
+  RegisterFile regs;
+  regs.define("W", {{"all", 0, 32}});
+  regs.write_field("W", "all", 0xDEADBEEF);
+  EXPECT_EQ(regs.read_field("W", "all"), 0xDEADBEEFu);
+}
+
+TEST(Registers, NamesListed) {
+  RegisterFile regs;
+  regs.define("A", {});
+  regs.define("B", {});
+  const auto names = regs.register_names();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+}  // namespace
+}  // namespace aqua::isif

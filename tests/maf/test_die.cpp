@@ -1,0 +1,188 @@
+#include "maf/die.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqua::maf {
+namespace {
+
+using util::celsius;
+using util::metres_per_second;
+using util::Seconds;
+using util::watts;
+
+Environment still_water() {
+  Environment env;
+  env.speed = metres_per_second(0.0);
+  env.fluid_temperature = celsius(15.0);
+  env.pressure = util::bar(2.0);
+  return env;
+}
+
+TEST(MafDie, ColdDieMatchesDatasheetResistances) {
+  MafDie die{MafSpec{}};
+  die.settle(still_water());
+  // Unpowered die at 15 °C fluid: Rh = 50·(1 + 3.3e-3·(15−20)).
+  EXPECT_NEAR(die.heater_a_resistance().value(), 50.0 * (1.0 - 3.3e-3 * 5.0),
+              1e-6);
+  EXPECT_NEAR(die.reference_resistance().value(),
+              2000.0 * (1.0 - 3.3e-3 * 5.0), 1e-3);
+}
+
+TEST(MafDie, ToleranceDrawsWithinSpec) {
+  util::Rng rng{21};
+  for (int i = 0; i < 50; ++i) {
+    MafDie die{MafSpec{}, rng};
+    die.settle(still_water());
+    EXPECT_NEAR(die.heater_a_resistance().value(), 49.175, 0.55);
+    EXPECT_NEAR(die.reference_resistance().value(), 1967.0, 31.0);
+  }
+}
+
+TEST(MafDie, PowerRaisesHeaterTemperature) {
+  MafDie die{MafSpec{}};
+  die.set_heater_powers(watts(0.005), watts(0.0), watts(0.0));
+  die.settle(still_water());
+  const auto t = die.temperatures();
+  EXPECT_GT(t.heater_a.value(), celsius(16.0).value());
+  EXPECT_NEAR(t.heater_b.value(), t.reference.value(), 3.0);  // B barely warms
+}
+
+TEST(MafDie, FlowCoolsTheHeater) {
+  MafDie die{MafSpec{}};
+  die.set_heater_powers(watts(0.005), watts(0.0), watts(0.0));
+  Environment env = still_water();
+  die.settle(env);
+  const double t_still = die.temperatures().heater_a.value();
+  env.speed = metres_per_second(1.0);
+  die.settle(env);
+  const double t_flow = die.temperatures().heater_a.value();
+  EXPECT_LT(t_flow, t_still - 1.0);
+}
+
+TEST(MafDie, ResistanceTracksTemperature) {
+  MafDie die{MafSpec{}};
+  die.set_heater_powers(watts(0.004), watts(0.0), watts(0.0));
+  die.settle(still_water());
+  const double r_hot = die.heater_a_resistance().value();
+  const double t_hot = die.temperatures().heater_a.value();
+  const double expected =
+      50.0 * (1.0 + 3.3e-3 * (t_hot - celsius(20.0).value()));
+  EXPECT_NEAR(r_hot, expected, 1e-9);
+}
+
+TEST(MafDie, WakeWarmsDownstreamHeater) {
+  MafDie die{MafSpec{}};
+  Environment env = still_water();
+  env.speed = metres_per_second(0.5);
+  die.set_heater_powers(watts(0.004), watts(0.004), watts(0.0));
+  die.settle(env);
+  const auto fwd = die.temperatures();
+  EXPECT_GT(fwd.heater_b.value(), fwd.heater_a.value() + 0.1);
+
+  env.speed = metres_per_second(-0.5);
+  die.settle(env);
+  const auto rev = die.temperatures();
+  EXPECT_GT(rev.heater_a.value(), rev.heater_b.value() + 0.1);
+}
+
+TEST(MafDie, WakeAsymmetryGrowsWithSpeedThenSaturates) {
+  MafDie die{MafSpec{}};
+  die.set_heater_powers(watts(0.004), watts(0.004), watts(0.0));
+  auto imbalance = [&](double v) {
+    Environment env = still_water();
+    env.speed = metres_per_second(v);
+    die.settle(env);
+    const auto t = die.temperatures();
+    return t.heater_b.value() - t.heater_a.value();
+  };
+  const double d_slow = imbalance(0.05);
+  const double d_mid = imbalance(0.5);
+  const double d_fast = imbalance(2.5);
+  EXPECT_GT(d_mid, d_slow);
+  // Saturation: the 0.5→2.5 gain is much smaller than the 0.05→0.5 gain.
+  EXPECT_LT(d_fast - d_mid, d_mid - d_slow);
+}
+
+TEST(MafDie, StepConvergesToSettle) {
+  MafDie die_a{MafSpec{}};
+  MafDie die_b{MafSpec{}};
+  Environment env = still_water();
+  env.speed = metres_per_second(0.7);
+  die_a.set_heater_powers(watts(0.005), watts(0.005), watts(0.001));
+  die_b.set_heater_powers(watts(0.005), watts(0.005), watts(0.001));
+  for (int i = 0; i < 200000; ++i) die_a.step(Seconds{5e-6}, env);
+  die_b.settle(env);
+  EXPECT_NEAR(die_a.temperatures().heater_a.value(),
+              die_b.temperatures().heater_a.value(), 0.01);
+}
+
+TEST(MafDie, ThermalTimeConstantIsFast) {
+  // Paper §4: "the response times are reasonably short, even in water".
+  MafDie die{MafSpec{}};
+  Environment env = still_water();
+  env.speed = metres_per_second(1.0);
+  die.settle(env);
+  die.set_heater_powers(watts(0.005), watts(0.0), watts(0.0));
+  // Step the power on and find the 63% rise time.
+  die.settle(env);
+  const double t_final = die.temperatures().heater_a.value();
+  MafDie fresh{MafSpec{}};
+  fresh.settle(env);
+  const double t0 = fresh.temperatures().heater_a.value();
+  fresh.set_heater_powers(watts(0.005), watts(0.0), watts(0.0));
+  double elapsed = 0.0;
+  while (fresh.temperatures().heater_a.value() <
+             t0 + 0.632 * (t_final - t0) &&
+         elapsed < 1.0) {
+    fresh.step(Seconds{2e-6}, env);
+    elapsed += 2e-6;
+  }
+  EXPECT_LT(elapsed, 0.01);  // well under 10 ms in water
+}
+
+TEST(MafDie, OverpressureBreaksMembraneAndLatches) {
+  MafDie die{MafSpec{}};
+  Environment env = still_water();
+  env.pressure = util::bar(120.0);  // far beyond the qualified range
+  die.step(Seconds{1e-5}, env);
+  EXPECT_FALSE(die.membrane_intact());
+  EXPECT_GT(die.heater_a_resistance().value(), 1e8);  // open circuit
+  env.pressure = util::bar(1.0);  // damage is permanent
+  die.step(Seconds{1e-5}, env);
+  EXPECT_FALSE(die.membrane_intact());
+}
+
+TEST(MafDie, QualifiedPressureRangeSurvives) {
+  MafDie die{MafSpec{}};
+  Environment env = still_water();
+  env.pressure = util::bar(7.0);  // the paper's peak
+  for (int i = 0; i < 100; ++i) die.step(Seconds{1e-4}, env);
+  EXPECT_TRUE(die.membrane_intact());
+}
+
+TEST(MafDie, CleanFilmConductanceGrowsWithSpeed) {
+  MafDie die{MafSpec{}};
+  Environment env = still_water();
+  const auto wall = celsius(20.0);
+  env.speed = metres_per_second(0.1);
+  const double g1 = die.clean_film_conductance(env, wall);
+  env.speed = metres_per_second(2.0);
+  const double g2 = die.clean_film_conductance(env, wall);
+  EXPECT_GT(g2, g1 * 1.5);
+}
+
+TEST(MafDie, AirModeHasMuchLowerConductance) {
+  MafDie die{MafSpec{}};
+  Environment water = still_water();
+  Environment air = still_water();
+  air.medium = phys::Medium::kAir;
+  water.speed = air.speed = metres_per_second(1.0);
+  const auto wall = celsius(40.0);
+  EXPECT_GT(die.clean_film_conductance(water, wall),
+            10.0 * die.clean_film_conductance(air, wall));
+}
+
+}  // namespace
+}  // namespace aqua::maf

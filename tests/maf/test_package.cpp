@@ -1,0 +1,78 @@
+#include "maf/package.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqua::maf {
+namespace {
+
+using util::bar;
+using util::Rng;
+using util::Seconds;
+using util::volts;
+
+TEST(Package, SealedAssemblyStaysHealthyForMonths) {
+  // Paper §5: "no corrosion or pollution on the surface after several months
+  // of test".
+  Package pkg{PackageSpec{}, Rng{1}};
+  for (int day = 0; day < 180; ++day) pkg.step(Seconds{86400.0}, bar(2.5));
+  EXPECT_TRUE(pkg.healthy());
+  EXPECT_GT(pkg.insulation_resistance().value(), 1e8);
+  EXPECT_LT(pkg.corrosion(), 0.05);
+}
+
+TEST(Package, DefectiveSealDegrades) {
+  PackageSpec bad{};
+  bad.sealing_quality = 0.2;
+  bad.corrosion_rate = 2e-6;
+  Package pkg{bad, Rng{2}};
+  for (int day = 0; day < 180; ++day) pkg.step(Seconds{86400.0}, bar(2.5));
+  EXPECT_FALSE(pkg.healthy());
+}
+
+TEST(Package, LeakageCurrentFollowsInsulation) {
+  Package pkg{PackageSpec{}, Rng{3}};
+  const double i0 = pkg.leakage_current(volts(5.0)).value();
+  EXPECT_NEAR(i0, 5.0 / 5e9, 1e-12);
+}
+
+TEST(Package, PressureAcceleratesIngress) {
+  PackageSpec leaky{};
+  leaky.sealing_quality = 0.9;
+  Package low{leaky, Rng{4}}, high{leaky, Rng{4}};
+  for (int i = 0; i < 150; ++i) {  // a week, before either path saturates
+    low.step(Seconds{3600.0}, bar(0.5));
+    high.step(Seconds{3600.0}, bar(6.0));
+  }
+  EXPECT_LT(high.insulation_resistance().value(),
+            0.5 * low.insulation_resistance().value());
+}
+
+TEST(Package, ContactResistanceGrowsWithCorrosion) {
+  PackageSpec bad{};
+  bad.sealing_quality = 0.0;
+  bad.corrosion_rate = 1e-5;
+  Package pkg{bad, Rng{5}};
+  const double r0 = pkg.contact_resistance().value();
+  for (int i = 0; i < 50000; ++i) pkg.step(Seconds{3600.0}, bar(3.0));
+  EXPECT_GT(pkg.contact_resistance().value(), r0 + 1.0);
+}
+
+TEST(Package, AddedTurbulenceSmallAndSaturating) {
+  // Paper §4: the smoothed head introduces "low perturbations in the flow".
+  Package pkg{PackageSpec{}, Rng{6}};
+  const double t_low = pkg.added_turbulence(util::metres_per_second(0.1));
+  const double t_mid = pkg.added_turbulence(util::metres_per_second(1.0));
+  const double t_high = pkg.added_turbulence(util::metres_per_second(3.0));
+  EXPECT_LT(t_high, 0.05);
+  EXPECT_GT(t_mid, t_low);
+  EXPECT_LT(t_high - t_mid, t_mid - t_low);
+}
+
+TEST(Package, Validation) {
+  PackageSpec bad{};
+  bad.sealing_quality = 1.5;
+  EXPECT_THROW((Package{bad, Rng{1}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::maf

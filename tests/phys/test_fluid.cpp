@@ -1,0 +1,95 @@
+#include "phys/fluid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqua::phys {
+namespace {
+
+using util::celsius;
+
+TEST(WaterProperties, MatchesHandbookAt20C) {
+  const auto w = water_properties(celsius(20.0));
+  EXPECT_NEAR(w.density, 998.2, 0.5);
+  EXPECT_NEAR(w.dynamic_viscosity, 1.002e-3, 0.05e-3);
+  EXPECT_NEAR(w.thermal_conductivity, 0.598, 0.01);
+  EXPECT_NEAR(w.specific_heat, 4184.0, 10.0);
+  EXPECT_NEAR(w.prandtl(), 7.0, 0.4);
+}
+
+TEST(WaterProperties, DensityPeaksNear4C) {
+  const double d2 = water_properties(celsius(2.0)).density;
+  const double d4 = water_properties(celsius(4.0)).density;
+  const double d6 = water_properties(celsius(6.0)).density;
+  EXPECT_GT(d4, d2);
+  EXPECT_GT(d4, d6);
+  EXPECT_NEAR(d4, 1000.0, 0.1);
+}
+
+TEST(WaterProperties, ViscosityFallsWithTemperature) {
+  EXPECT_GT(water_properties(celsius(5.0)).dynamic_viscosity,
+            water_properties(celsius(50.0)).dynamic_viscosity);
+}
+
+TEST(WaterProperties, ConductivityRisesWithTemperature) {
+  EXPECT_LT(water_properties(celsius(5.0)).thermal_conductivity,
+            water_properties(celsius(60.0)).thermal_conductivity);
+}
+
+TEST(WaterProperties, ThrowsOutsideRange) {
+  EXPECT_THROW((void)water_properties(celsius(-20.0)), std::invalid_argument);
+  EXPECT_THROW((void)water_properties(celsius(150.0)), std::invalid_argument);
+}
+
+TEST(AirProperties, MatchesHandbookAt20C) {
+  const auto a = air_properties(celsius(20.0));
+  EXPECT_NEAR(a.density, 1.204, 0.01);
+  EXPECT_NEAR(a.dynamic_viscosity, 1.81e-5, 0.05e-5);
+  EXPECT_NEAR(a.thermal_conductivity, 0.0257, 0.001);
+  EXPECT_NEAR(a.prandtl(), 0.71, 0.03);
+}
+
+TEST(AirProperties, DensityScalesWithPressure) {
+  const auto p1 = air_properties(celsius(20.0), util::bar(1.0));
+  const auto p2 = air_properties(celsius(20.0), util::bar(2.0));
+  EXPECT_NEAR(p2.density / p1.density, 2.0, 1e-9);
+}
+
+TEST(AirProperties, ThrowsOutsideRange) {
+  EXPECT_THROW((void)air_properties(util::Kelvin{100.0}), std::invalid_argument);
+}
+
+TEST(Properties, DispatchMatchesDirectCalls) {
+  const auto t = celsius(15.0);
+  EXPECT_DOUBLE_EQ(properties(Medium::kWater, t).density,
+                   water_properties(t).density);
+  EXPECT_DOUBLE_EQ(properties(Medium::kAir, t).density,
+                   air_properties(t).density);
+}
+
+/// Water vs air: the contrast that drives the paper's design choices — water
+/// removes vastly more heat.
+TEST(Properties, WaterIsFarMoreConductiveThanAir) {
+  const auto w = water_properties(celsius(15.0));
+  const auto a = air_properties(celsius(15.0));
+  EXPECT_GT(w.thermal_conductivity / a.thermal_conductivity, 20.0);
+  EXPECT_GT(w.density / a.density, 700.0);
+}
+
+class WaterRangeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WaterRangeTest, AllPropertiesPositiveAndFinite) {
+  const auto w = water_properties(celsius(GetParam()));
+  EXPECT_GT(w.density, 0.0);
+  EXPECT_GT(w.dynamic_viscosity, 0.0);
+  EXPECT_GT(w.thermal_conductivity, 0.0);
+  EXPECT_GT(w.specific_heat, 0.0);
+  EXPECT_GT(w.prandtl(), 1.0);   // water stays above 1 in 0-90 °C
+  EXPECT_LT(w.prandtl(), 14.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ZeroTo90C, WaterRangeTest,
+                         ::testing::Values(0.0, 5.0, 10.0, 15.0, 20.0, 30.0,
+                                           40.0, 55.0, 70.0, 90.0));
+
+}  // namespace
+}  // namespace aqua::phys

@@ -1,0 +1,100 @@
+#include "phys/membrane.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqua::phys {
+namespace {
+
+using util::bar;
+using util::micrometres;
+
+TEST(Membrane, FilledSurvivesPaperPressures) {
+  // Paper §5: tested 0–3 bar with peaks of 7 bar, membrane intact.
+  const MembraneSpec filled{};  // backside_filled = true by default
+  EXPECT_TRUE(survives(filled, bar(3.0)));
+  EXPECT_TRUE(survives(filled, bar(7.0)));
+}
+
+TEST(Membrane, UnfilledFailsUnderLinePressure) {
+  // Without the organic fill the bare 2 µm stack cannot take bar-level loads
+  // — the reason the paper fills the cavity.
+  MembraneSpec open = MembraneSpec{};
+  open.backside_filled = false;
+  EXPECT_FALSE(survives(open, bar(2.0)));
+}
+
+TEST(Membrane, StressScalesLinearlyWithPressure) {
+  const MembraneSpec spec{};
+  const double s1 = peak_stress(spec, bar(1.0));
+  const double s3 = peak_stress(spec, bar(3.0));
+  EXPECT_NEAR(s3 / s1, 3.0, 1e-12);
+}
+
+TEST(Membrane, ThinnerMembraneSeesMoreStress) {
+  MembraneSpec thin{};
+  thin.thickness = micrometres(1.0);
+  const MembraneSpec nominal{};
+  EXPECT_GT(peak_stress(thin, bar(1.0)), peak_stress(nominal, bar(1.0)));
+}
+
+TEST(Membrane, SafetyFactorDecreasesWithPressure) {
+  const MembraneSpec spec{};
+  EXPECT_GT(pressure_safety_factor(spec, bar(1.0)),
+            pressure_safety_factor(spec, bar(7.0)));
+}
+
+TEST(Membrane, DeflectionPositiveAndFillStiffens) {
+  MembraneSpec open{};
+  open.backside_filled = false;
+  const MembraneSpec filled{};
+  const double w_open = center_deflection(open, bar(1.0));
+  const double w_filled = center_deflection(filled, bar(1.0));
+  EXPECT_GT(w_open, 0.0);
+  EXPECT_LT(w_filled, w_open);
+}
+
+TEST(Membrane, EdgeConductanceScalesWithThickness) {
+  MembraneSpec thick{};
+  thick.thickness = micrometres(4.0);
+  const MembraneSpec nominal{};
+  const double g_nom = edge_conductance(nominal, micrometres(300.0));
+  const double g_thick = edge_conductance(thick, micrometres(300.0));
+  EXPECT_NEAR(g_thick / g_nom, 2.0, 1e-12);
+}
+
+TEST(Membrane, EdgeConductanceIsSmall) {
+  // The membrane's purpose: thermally isolate the wires (paper §2). The edge
+  // leak must be small against water convection (~mW/K scale).
+  const MembraneSpec spec{};
+  EXPECT_LT(edge_conductance(spec, micrometres(300.0)), 1e-4);
+}
+
+TEST(Membrane, BacksideFillLessConductiveThanWater) {
+  MembraneSpec open{};
+  open.backside_filled = false;
+  const MembraneSpec filled{};
+  const auto area = util::SquareMetres{4e-9};
+  EXPECT_LT(backside_conductance(filled, area), backside_conductance(open, area));
+}
+
+TEST(Membrane, RejectsBadGeometry) {
+  MembraneSpec bad{};
+  bad.thickness = micrometres(0.0);
+  EXPECT_THROW((void)peak_stress(bad, bar(1.0)), std::invalid_argument);
+}
+
+class PressureSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PressureSweepTest, FilledSafetyMonotone) {
+  const MembraneSpec spec{};
+  const double p = GetParam();
+  EXPECT_GE(pressure_safety_factor(spec, bar(p)),
+            pressure_safety_factor(spec, bar(p + 0.5)));
+}
+
+INSTANTIATE_TEST_SUITE_P(ZeroToTenBar, PressureSweepTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 7.0,
+                                           9.5));
+
+}  // namespace
+}  // namespace aqua::phys

@@ -1,0 +1,83 @@
+#include "phys/resistor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqua::phys {
+namespace {
+
+using util::celsius;
+using util::kelvin;
+using util::ohms;
+
+const TcrResistorSpec kHeaterSpec{ohms(50.0), ohms(0.5), celsius(20.0), 3.3e-3,
+                                  0.0};
+
+TEST(TcrResistor, PaperEquationOne) {
+  // R = R0·(1 + a·(T − Tref)) — paper Eq. (1).
+  const TcrResistor r{kHeaterSpec};
+  EXPECT_DOUBLE_EQ(r.resistance(celsius(20.0)).value(), 50.0);
+  EXPECT_DOUBLE_EQ(r.resistance(celsius(30.0)).value(),
+                   50.0 * (1.0 + 3.3e-3 * 10.0));
+  EXPECT_DOUBLE_EQ(r.resistance(celsius(10.0)).value(),
+                   50.0 * (1.0 - 3.3e-3 * 10.0));
+}
+
+TEST(TcrResistor, InverseLinearRoundTrip) {
+  const TcrResistor r{kHeaterSpec};
+  for (double tc : {0.0, 15.0, 25.0, 60.0}) {
+    const auto res = r.resistance(celsius(tc));
+    EXPECT_NEAR(util::to_celsius(r.temperature_for(res)), tc, 1e-9);
+  }
+}
+
+TEST(TcrResistor, QuadraticTermAndInverse) {
+  TcrResistorSpec spec = kHeaterSpec;
+  spec.beta = 1e-6;
+  const TcrResistor r{spec};
+  const double dt = 40.0;
+  EXPECT_DOUBLE_EQ(r.resistance(celsius(60.0)).value(),
+                   50.0 * (1.0 + 3.3e-3 * dt + 1e-6 * dt * dt));
+  EXPECT_NEAR(util::to_celsius(r.temperature_for(r.resistance(celsius(60.0)))),
+              60.0, 1e-6);
+}
+
+TEST(TcrResistor, ToleranceDrawStaysWithinSpec) {
+  util::Rng rng{11};
+  for (int i = 0; i < 200; ++i) {
+    const TcrResistor r{kHeaterSpec, rng};
+    EXPECT_GE(r.r0().value(), 49.5);
+    EXPECT_LE(r.r0().value(), 50.5);
+  }
+}
+
+TEST(TcrResistor, ToleranceDrawsSpread) {
+  util::Rng rng{12};
+  const TcrResistor a{kHeaterSpec, rng};
+  const TcrResistor b{kHeaterSpec, rng};
+  EXPECT_NE(a.r0().value(), b.r0().value());
+}
+
+TEST(TcrResistor, DriftShiftsR0) {
+  TcrResistor r{kHeaterSpec};
+  r.apply_drift(ohms(0.25));
+  EXPECT_DOUBLE_EQ(r.r0().value(), 50.25);
+  EXPECT_DOUBLE_EQ(r.resistance(celsius(20.0)).value(), 50.25);
+}
+
+TEST(TcrResistor, RejectsNonPositiveNominal) {
+  TcrResistorSpec bad = kHeaterSpec;
+  bad.nominal = ohms(0.0);
+  EXPECT_THROW(TcrResistor{bad}, std::invalid_argument);
+}
+
+TEST(TcrResistor, ReferenceSpecMatchesPaper) {
+  // Rt = 2000 ± 30 Ω.
+  const TcrResistorSpec ref{ohms(2000.0), ohms(30.0), celsius(20.0), 3.3e-3, 0.0};
+  util::Rng rng{13};
+  const TcrResistor r{ref, rng};
+  EXPECT_GE(r.r0().value(), 1970.0);
+  EXPECT_LE(r.r0().value(), 2030.0);
+}
+
+}  // namespace
+}  // namespace aqua::phys

@@ -1,0 +1,83 @@
+#include "phys/saturation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqua::phys {
+namespace {
+
+using util::bar;
+using util::celsius;
+
+TEST(Saturation, VapourPressureAtBoilingPoint) {
+  EXPECT_NEAR(vapour_pressure(celsius(100.0)).value(), 101325.0, 1500.0);
+}
+
+TEST(Saturation, VapourPressureAt20C) {
+  EXPECT_NEAR(vapour_pressure(celsius(20.0)).value(), 2339.0, 60.0);
+}
+
+TEST(Saturation, SaturationTemperatureInvertsVapourPressure) {
+  for (double tc : {20.0, 40.0, 60.0, 80.0, 99.0}) {
+    const auto p = vapour_pressure(celsius(tc));
+    EXPECT_NEAR(util::to_celsius(saturation_temperature(p)), tc, 1e-6);
+  }
+}
+
+TEST(Saturation, BoilingPointRisesWithPressure) {
+  EXPECT_GT(saturation_temperature(bar(3.0)).value(),
+            saturation_temperature(bar(1.0)).value());
+}
+
+TEST(Saturation, GasSolubilityFallsWithTemperature) {
+  EXPECT_GT(relative_gas_solubility(celsius(5.0)),
+            relative_gas_solubility(celsius(35.0)));
+  EXPECT_NEAR(relative_gas_solubility(celsius(25.0)), 1.0, 1e-12);
+}
+
+TEST(BubbleOnset, PressureSuppressesOutgassing) {
+  // Paper §5: the line ran at 0–3 bar; higher pressure keeps gas dissolved
+  // and raises the safe overtemperature.
+  const auto onset_1bar =
+      bubble_onset_overtemperature(celsius(15.0), bar(1.0), 1.0);
+  const auto onset_3bar =
+      bubble_onset_overtemperature(celsius(15.0), bar(3.0), 1.0);
+  EXPECT_GT(onset_3bar.value(), onset_1bar.value());
+}
+
+TEST(BubbleOnset, AirSaturatedWaterHasFiniteOnsetAt1Bar) {
+  const auto onset = bubble_onset_overtemperature(celsius(15.0), bar(1.0), 1.0);
+  EXPECT_GT(onset.value(), 5.0);
+  EXPECT_LT(onset.value(), 40.0);
+}
+
+TEST(BubbleOnset, DegassedWaterOnlyBoils) {
+  const auto onset = bubble_onset_overtemperature(celsius(15.0), bar(1.0), 0.0);
+  // Boiling onset at 1 bar from 15 °C bulk: ~85 K.
+  EXPECT_NEAR(onset.value(), 85.0, 3.0);
+}
+
+TEST(BubbleOnset, SupersaturatedWaterBubblesImmediately) {
+  const auto onset = bubble_onset_overtemperature(celsius(15.0), bar(1.0), 2.0);
+  EXPECT_LT(onset.value(),
+            bubble_onset_overtemperature(celsius(15.0), bar(1.0), 1.0).value());
+}
+
+TEST(BubbleOnset, NeverNegative) {
+  const auto onset = bubble_onset_overtemperature(celsius(15.0), bar(0.5), 3.0);
+  EXPECT_GE(onset.value(), 0.0);
+}
+
+TEST(BubbleOnset, RejectsNegativeSaturation) {
+  EXPECT_THROW(
+      (void)bubble_onset_overtemperature(celsius(15.0), bar(1.0), -0.1),
+      std::invalid_argument);
+}
+
+TEST(Saturation, VapourPressureRangeChecks) {
+  EXPECT_THROW((void)vapour_pressure(celsius(-10.0)), std::invalid_argument);
+  EXPECT_THROW((void)saturation_temperature(util::pascals(0.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::phys

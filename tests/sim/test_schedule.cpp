@@ -1,0 +1,88 @@
+#include "sim/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqua::sim {
+namespace {
+
+using util::hertz;
+using util::Seconds;
+
+TEST(Schedule, EmptyReturnsInitial) {
+  const Schedule s{3.0};
+  EXPECT_DOUBLE_EQ(s.at(Seconds{0.0}), 3.0);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{100.0}), 3.0);
+  EXPECT_DOUBLE_EQ(s.duration().value(), 0.0);
+}
+
+TEST(Schedule, StepAndHold) {
+  Schedule s{0.0};
+  s.step_to(2.0, Seconds{5.0}).hold(Seconds{5.0});
+  EXPECT_DOUBLE_EQ(s.at(Seconds{1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{9.0}), 2.0);
+  EXPECT_DOUBLE_EQ(s.duration().value(), 10.0);
+}
+
+TEST(Schedule, RampInterpolatesLinearly) {
+  Schedule s{1.0};
+  s.ramp_to(5.0, Seconds{4.0});
+  EXPECT_DOUBLE_EQ(s.at(Seconds{0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{2.0}), 3.0);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{99.0}), 5.0);  // clamp after end
+}
+
+TEST(Schedule, SegmentsChainInOrder) {
+  Schedule s{0.0};
+  s.step_to(1.0, Seconds{1.0}).ramp_to(3.0, Seconds{2.0}).hold(Seconds{1.0});
+  EXPECT_DOUBLE_EQ(s.at(Seconds{0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{2.0}), 2.0);  // mid-ramp
+  EXPECT_DOUBLE_EQ(s.at(Seconds{3.5}), 3.0);
+}
+
+TEST(Schedule, SineSuperposesOnLevel) {
+  Schedule s{2.0};
+  s.sine(0.5, hertz(1.0), Seconds{10.0});
+  EXPECT_NEAR(s.at(Seconds{0.25}), 2.5, 1e-9);   // quarter period: +amp
+  EXPECT_NEAR(s.at(Seconds{0.75}), 1.5, 1e-9);   // three quarters: −amp
+  EXPECT_NEAR(s.at(Seconds{1.0}), 2.0, 1e-9);
+}
+
+TEST(Schedule, StaircaseVisitsLevels) {
+  Schedule s{0.0};
+  const std::vector<double> levels{0.1, 0.2, 0.3};
+  s.staircase(levels, Seconds{2.0});
+  EXPECT_DOUBLE_EQ(s.at(Seconds{1.0}), 0.1);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{3.0}), 0.2);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{5.0}), 0.3);
+  EXPECT_DOUBLE_EQ(s.duration().value(), 6.0);
+}
+
+TEST(Schedule, NegativeTimeReturnsInitial) {
+  Schedule s{7.0};
+  s.step_to(1.0, Seconds{1.0});
+  EXPECT_DOUBLE_EQ(s.at(Seconds{-1.0}), 7.0);
+}
+
+TEST(Schedule, RejectsNegativeDuration) {
+  Schedule s{0.0};
+  EXPECT_THROW(s.hold(Seconds{-1.0}), std::invalid_argument);
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto v = linspace(0.0, 2.5, 6);
+  ASSERT_EQ(v.size(), 6u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 2.5);
+  EXPECT_DOUBLE_EQ(v[1], 0.5);
+}
+
+TEST(Linspace, SinglePointAndValidation) {
+  EXPECT_EQ(linspace(3.0, 9.0, 1).front(), 3.0);
+  EXPECT_THROW((void)linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::sim

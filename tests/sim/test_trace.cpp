@@ -1,0 +1,79 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace aqua::sim {
+namespace {
+
+using util::Seconds;
+
+TEST(Trace, RecordsAndRetrieves) {
+  Trace tr;
+  tr.record("u", Seconds{0.0}, 1.0);
+  tr.record("u", Seconds{0.1}, 2.0);
+  EXPECT_TRUE(tr.has("u"));
+  EXPECT_FALSE(tr.has("v"));
+  ASSERT_EQ(tr.size("u"), 2u);
+  EXPECT_DOUBLE_EQ(tr.values("u")[1], 2.0);
+  EXPECT_DOUBLE_EQ(tr.times("u")[1], 0.1);
+  EXPECT_DOUBLE_EQ(tr.back("u"), 2.0);
+}
+
+TEST(Trace, StrideDecimates) {
+  Trace tr{10};
+  for (int i = 0; i < 100; ++i)
+    tr.record("x", Seconds{0.01 * i}, static_cast<double>(i));
+  EXPECT_EQ(tr.size("x"), 10u);
+  EXPECT_DOUBLE_EQ(tr.values("x")[1], 10.0);
+}
+
+TEST(Trace, MeanBetweenWindow) {
+  Trace tr;
+  for (int i = 0; i <= 10; ++i)
+    tr.record("x", Seconds{static_cast<double>(i)}, static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(tr.mean_between("x", Seconds{3.0}, Seconds{5.0}), 4.0);
+  EXPECT_THROW((void)tr.mean_between("x", Seconds{20.0}, Seconds{30.0}),
+               std::out_of_range);
+}
+
+TEST(Trace, UnknownChannelThrows) {
+  const Trace tr;
+  EXPECT_THROW((void)tr.values("nope"), std::out_of_range);
+  EXPECT_THROW((void)tr.back("nope"), std::out_of_range);
+}
+
+TEST(Trace, ChannelsListedSorted) {
+  Trace tr;
+  tr.record("b", Seconds{0.0}, 0.0);
+  tr.record("a", Seconds{0.0}, 0.0);
+  const auto names = tr.channels();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(Trace, CsvWritten) {
+  Trace tr;
+  tr.record("u", Seconds{0.0}, 1.5);
+  const std::string path = testing::TempDir() + "/aqua_trace_test.csv";
+  tr.write_csv(path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t_u,u");
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace tr;
+  tr.record("u", Seconds{0.0}, 1.0);
+  tr.clear();
+  EXPECT_FALSE(tr.has("u"));
+}
+
+}  // namespace
+}  // namespace aqua::sim

@@ -1,0 +1,107 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace aqua::util {
+namespace {
+
+TEST(Polyval, EvaluatesHornerOrder) {
+  const std::vector<double> c{1.0, -2.0, 3.0};  // 1 − 2x + 3x²
+  EXPECT_DOUBLE_EQ(polyval(c, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(polyval(c, 2.0), 1.0 - 4.0 + 12.0);
+}
+
+TEST(Interp1, InterpolatesAndClamps) {
+  const std::vector<double> x{0.0, 1.0, 3.0};
+  const std::vector<double> y{0.0, 10.0, 30.0};
+  EXPECT_DOUBLE_EQ(interp1(x, y, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp1(x, y, 2.0), 20.0);
+  EXPECT_DOUBLE_EQ(interp1(x, y, -1.0), 0.0);   // clamp low
+  EXPECT_DOUBLE_EQ(interp1(x, y, 99.0), 30.0);  // clamp high
+}
+
+TEST(Interp1, RejectsShapeMismatch) {
+  const std::vector<double> x{0.0, 1.0};
+  const std::vector<double> y{0.0};
+  EXPECT_THROW((void)interp1(x, y, 0.5), std::invalid_argument);
+}
+
+TEST(SolveLinear, SolvesKnownSystem) {
+  // 2x + y = 5; x − y = 1  →  x = 2, y = 1.
+  const auto sol = solve_linear({2.0, 1.0, 1.0, -1.0}, {5.0, 1.0});
+  ASSERT_EQ(sol.size(), 2u);
+  EXPECT_NEAR(sol[0], 2.0, 1e-12);
+  EXPECT_NEAR(sol[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinear, PivotsOnZeroDiagonal) {
+  // First diagonal entry is zero; needs the row swap.
+  const auto sol = solve_linear({0.0, 1.0, 1.0, 0.0}, {3.0, 4.0});
+  EXPECT_NEAR(sol[0], 4.0, 1e-12);
+  EXPECT_NEAR(sol[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, ThrowsOnSingular) {
+  EXPECT_THROW((void)solve_linear({1.0, 2.0, 2.0, 4.0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(LeastSquares, RecoversLine) {
+  // y = 3 + 2x sampled exactly.
+  std::vector<double> x, y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(1.0);
+    x.push_back(static_cast<double>(i));
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const auto beta = least_squares(x, y, 2);
+  EXPECT_NEAR(beta[0], 3.0, 1e-9);
+  EXPECT_NEAR(beta[1], 2.0, 1e-9);
+}
+
+TEST(LeastSquares, OverdeterminedMinimisesResidual) {
+  // y = x with one outlier; slope should stay near 1 for many clean points.
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(static_cast<double>(i));
+  }
+  x.push_back(25.0);
+  y.push_back(60.0);
+  const auto beta = least_squares(x, y, 1);
+  EXPECT_NEAR(beta[0], 1.0, 0.05);
+}
+
+TEST(GoldenMinimize, FindsParabolaMinimum) {
+  const double x =
+      golden_minimize([](double v) { return (v - 1.7) * (v - 1.7); }, -10, 10);
+  EXPECT_NEAR(x, 1.7, 1e-6);
+}
+
+TEST(GoldenMinimize, HandlesAsymmetricUnimodal) {
+  const double x = golden_minimize(
+      [](double v) { return std::exp(v) - 2.0 * v; }, -2.0, 3.0);
+  EXPECT_NEAR(x, std::log(2.0), 1e-6);
+}
+
+TEST(Bisect, FindsRoot) {
+  const double r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisect, ThrowsWithoutSignChange) {
+  EXPECT_THROW((void)bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(RemapClamped, MapsAndClamps) {
+  EXPECT_DOUBLE_EQ(remap_clamped(5.0, 0.0, 10.0, 0.0, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(remap_clamped(-5.0, 0.0, 10.0, 0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(remap_clamped(15.0, 0.0, 10.0, 0.0, 100.0), 100.0);
+}
+
+}  // namespace
+}  // namespace aqua::util

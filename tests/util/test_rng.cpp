@@ -1,0 +1,91 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace aqua::util {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng{9};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng rng{42};
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaledMoments) {
+  Rng rng{43};
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.gaussian(3.0, 0.5);
+  EXPECT_NEAR(sum / kN, 3.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{44};
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng{45};
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent{99};
+  Rng child = parent.split();
+  // Correlation of two streams should be near zero.
+  double sum_xy = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum_xy += parent.gaussian() * child.gaussian();
+  EXPECT_NEAR(sum_xy / kN, 0.0, 0.03);
+}
+
+}  // namespace
+}  // namespace aqua::util

@@ -1,0 +1,97 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aqua::util {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.half_span(), 3.5);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.half_span(), 0.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(SlidingWindowStats, WindowEvictsOldSamples) {
+  SlidingWindowStats w{3};
+  for (double x : {1.0, 2.0, 3.0}) w.add(x);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.add(10.0);  // evicts 1.0 → window {2,3,10}
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 10.0);
+}
+
+TEST(SlidingWindowStats, StddevMatchesDirect) {
+  SlidingWindowStats w{4};
+  for (double x : {1.0, 2.0, 3.0, 4.0}) w.add(x);
+  // sample stddev of {1,2,3,4} = sqrt(5/3)
+  EXPECT_NEAR(w.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(SlidingWindowStats, RejectsZeroCapacity) {
+  EXPECT_THROW(SlidingWindowStats{0}, std::invalid_argument);
+}
+
+TEST(Correlation, PerfectAndAnti) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+  std::vector<double> c{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(a, c), -1.0, 1e-12);
+}
+
+TEST(Correlation, IndependentNearZero) {
+  Rng rng{5};
+  std::vector<double> a, b;
+  for (int i = 0; i < 10000; ++i) {
+    a.push_back(rng.gaussian());
+    b.push_back(rng.gaussian());
+  }
+  EXPECT_NEAR(correlation(a, b), 0.0, 0.05);
+}
+
+TEST(Rms, KnownValues) {
+  const std::vector<double> x{3.0, -4.0};
+  EXPECT_NEAR(rms(x), std::sqrt(12.5), 1e-12);
+  EXPECT_DOUBLE_EQ(rms(std::vector<double>{}), 0.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> x{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(x, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(x, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(x, 0.25), 2.0);
+}
+
+TEST(Quantile, ThrowsOnEmpty) {
+  EXPECT_THROW((void)quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::util

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace aqua::util {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t{"demo"};
+  t.columns({"name", "value"});
+  t.add_row({std::string{"alpha"}, 1.5});
+  t.add_row({std::string{"b"}, 22.25});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.2500"), std::string::npos);  // default 4 digits
+}
+
+TEST(Table, PrecisionControlsDoubles) {
+  Table t;
+  t.columns({"x"}).precision(1);
+  t.add_row({3.14159});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.1"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.14"), std::string::npos);
+}
+
+TEST(Table, RejectsWidthMismatch) {
+  Table t;
+  t.columns({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+}
+
+TEST(Table, IntegerCells) {
+  Table t;
+  t.columns({"n"});
+  t.add_row({static_cast<long long>(42)});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(Table, WritesCsvWithEscaping) {
+  Table t;
+  t.columns({"name", "v"});
+  t.add_row({std::string{"has,comma"}, 1.0});
+  t.add_row({std::string{"has\"quote"}, 2.0});
+  const std::string path = testing::TempDir() + "/aqua_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string body = ss.str();
+  EXPECT_NE(body.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(body.find("\"has\"\"quote\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Table, RowCountTracks) {
+  Table t;
+  t.columns({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({1.0});
+  t.add_row({2.0});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace aqua::util

@@ -1,0 +1,76 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqua::util {
+namespace {
+
+using namespace aqua::util::literals;
+
+TEST(Units, LiteralsProduceSiValues) {
+  EXPECT_DOUBLE_EQ((2.5_mps).value(), 2.5);
+  EXPECT_DOUBLE_EQ((250.0_cmps).value(), 2.5);
+  EXPECT_DOUBLE_EQ((3.0_bar).value(), 3e5);
+  EXPECT_DOUBLE_EQ((50.0_Ohm).value(), 50.0);
+  EXPECT_DOUBLE_EQ((2.0_um).value(), 2e-6);
+  EXPECT_DOUBLE_EQ((1.5_kHz).value(), 1500.0);
+  EXPECT_DOUBLE_EQ((12.0_mV).value(), 0.012);
+}
+
+TEST(Units, CelsiusKelvinRoundTrip) {
+  EXPECT_DOUBLE_EQ(celsius(0.0).value(), 273.15);
+  EXPECT_DOUBLE_EQ(to_celsius(celsius(37.5)), 37.5);
+  EXPECT_DOUBLE_EQ((25.0_degC).value(), 298.15);
+}
+
+TEST(Units, AdditionAndScaling) {
+  const Volts v = 1.0_V + 500.0_mV;
+  EXPECT_DOUBLE_EQ(v.value(), 1.5);
+  EXPECT_DOUBLE_EQ((2.0 * v).value(), 3.0);
+  EXPECT_DOUBLE_EQ((v / 3.0).value(), 0.5);
+}
+
+TEST(Units, DimensionedMultiplication) {
+  // V = I·R with full dimension tracking.
+  const Volts v = amperes(0.02) * ohms(50.0);
+  EXPECT_DOUBLE_EQ(v.value(), 1.0);
+  // P = V·I.
+  const Watts p = v * amperes(0.02);
+  EXPECT_DOUBLE_EQ(p.value(), 0.02);
+  // v = d / t.
+  const MetresPerSecond speed = metres(10.0) / seconds(4.0);
+  EXPECT_DOUBLE_EQ(speed.value(), 2.5);
+}
+
+TEST(Units, SameDimensionDivisionIsScalar) {
+  const double ratio = metres(10.0) / metres(2.0);
+  EXPECT_DOUBLE_EQ(ratio, 5.0);
+}
+
+TEST(Units, ComparisonOperators) {
+  EXPECT_LT(1.0_V, 2.0_V);
+  EXPECT_GE(2.0_bar, 2.0_bar);
+  EXPECT_EQ(100.0_cmps, 1.0_mps);
+}
+
+TEST(Units, ReadoutHelpers) {
+  EXPECT_DOUBLE_EQ(to_centimetres_per_second(1.5_mps), 150.0);
+  EXPECT_DOUBLE_EQ(to_bar(pascals(3.5e5)), 3.5);
+  EXPECT_DOUBLE_EQ(to_millivolts(0.25_V), 250.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Volts v{1.0};
+  v += Volts{0.5};
+  v -= Volts{0.25};
+  v *= 4.0;
+  v /= 2.0;
+  EXPECT_DOUBLE_EQ(v.value(), 2.5);
+}
+
+TEST(Units, UnaryNegation) {
+  EXPECT_DOUBLE_EQ((-(1.5_mps)).value(), -1.5);
+}
+
+}  // namespace
+}  // namespace aqua::util
