@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e03_repeatability.dir/bench_e03_repeatability.cpp.o"
+  "CMakeFiles/bench_e03_repeatability.dir/bench_e03_repeatability.cpp.o.d"
+  "bench_e03_repeatability"
+  "bench_e03_repeatability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e03_repeatability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e04_direction.dir/bench_e04_direction.cpp.o"
+  "CMakeFiles/bench_e04_direction.dir/bench_e04_direction.cpp.o.d"
+  "bench_e04_direction"
+  "bench_e04_direction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e04_direction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e06_kings_law.dir/bench_e06_kings_law.cpp.o"
+  "CMakeFiles/bench_e06_kings_law.dir/bench_e06_kings_law.cpp.o.d"
+  "bench_e06_kings_law"
+  "bench_e06_kings_law.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e06_kings_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

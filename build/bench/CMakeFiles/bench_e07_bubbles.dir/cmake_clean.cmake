@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e07_bubbles.dir/bench_e07_bubbles.cpp.o"
+  "CMakeFiles/bench_e07_bubbles.dir/bench_e07_bubbles.cpp.o.d"
+  "bench_e07_bubbles"
+  "bench_e07_bubbles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e07_bubbles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

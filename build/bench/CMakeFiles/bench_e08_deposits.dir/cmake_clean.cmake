@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e08_deposits.dir/bench_e08_deposits.cpp.o"
+  "CMakeFiles/bench_e08_deposits.dir/bench_e08_deposits.cpp.o.d"
+  "bench_e08_deposits"
+  "bench_e08_deposits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e08_deposits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e10_modes.cpp" "bench/CMakeFiles/bench_e10_modes.dir/bench_e10_modes.cpp.o" "gcc" "bench/CMakeFiles/bench_e10_modes.dir/bench_e10_modes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isif/CMakeFiles/aqua_isif.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/aqua_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/aqua_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/hydro/CMakeFiles/aqua_hydro.dir/DependInfo.cmake"
+  "/root/repo/build/src/maf/CMakeFiles/aqua_maf.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/aqua_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/aqua_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqua_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aqua_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

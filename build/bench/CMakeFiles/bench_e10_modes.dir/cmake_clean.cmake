@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_modes.dir/bench_e10_modes.cpp.o"
+  "CMakeFiles/bench_e10_modes.dir/bench_e10_modes.cpp.o.d"
+  "bench_e10_modes"
+  "bench_e10_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_step_response.dir/bench_e11_step_response.cpp.o"
+  "CMakeFiles/bench_e11_step_response.dir/bench_e11_step_response.cpp.o.d"
+  "bench_e11_step_response"
+  "bench_e11_step_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_step_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

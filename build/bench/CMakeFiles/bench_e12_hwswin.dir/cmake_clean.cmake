@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_hwswin.dir/bench_e12_hwswin.cpp.o"
+  "CMakeFiles/bench_e12_hwswin.dir/bench_e12_hwswin.cpp.o.d"
+  "bench_e12_hwswin"
+  "bench_e12_hwswin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_hwswin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

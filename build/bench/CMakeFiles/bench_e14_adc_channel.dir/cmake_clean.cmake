@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_adc_channel.dir/bench_e14_adc_channel.cpp.o"
+  "CMakeFiles/bench_e14_adc_channel.dir/bench_e14_adc_channel.cpp.o.d"
+  "bench_e14_adc_channel"
+  "bench_e14_adc_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_adc_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_leak_monitor.dir/bench_e15_leak_monitor.cpp.o"
+  "CMakeFiles/bench_e15_leak_monitor.dir/bench_e15_leak_monitor.cpp.o.d"
+  "bench_e15_leak_monitor"
+  "bench_e15_leak_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_leak_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

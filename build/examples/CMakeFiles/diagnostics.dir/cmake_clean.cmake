@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnostics.dir/diagnostics.cpp.o"
+  "CMakeFiles/diagnostics.dir/diagnostics.cpp.o.d"
+  "diagnostics"
+  "diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

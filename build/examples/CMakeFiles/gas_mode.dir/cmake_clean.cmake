@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_mode.dir/gas_mode.cpp.o"
+  "CMakeFiles/gas_mode.dir/gas_mode.cpp.o.d"
+  "gas_mode"
+  "gas_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

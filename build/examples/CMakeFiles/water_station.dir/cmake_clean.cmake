@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_station.dir/water_station.cpp.o"
+  "CMakeFiles/water_station.dir/water_station.cpp.o.d"
+  "water_station"
+  "water_station.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/amplifier.cpp" "src/analog/CMakeFiles/aqua_analog.dir/amplifier.cpp.o" "gcc" "src/analog/CMakeFiles/aqua_analog.dir/amplifier.cpp.o.d"
+  "/root/repo/src/analog/bridge.cpp" "src/analog/CMakeFiles/aqua_analog.dir/bridge.cpp.o" "gcc" "src/analog/CMakeFiles/aqua_analog.dir/bridge.cpp.o.d"
+  "/root/repo/src/analog/dac.cpp" "src/analog/CMakeFiles/aqua_analog.dir/dac.cpp.o" "gcc" "src/analog/CMakeFiles/aqua_analog.dir/dac.cpp.o.d"
+  "/root/repo/src/analog/noise.cpp" "src/analog/CMakeFiles/aqua_analog.dir/noise.cpp.o" "gcc" "src/analog/CMakeFiles/aqua_analog.dir/noise.cpp.o.d"
+  "/root/repo/src/analog/rc_filter.cpp" "src/analog/CMakeFiles/aqua_analog.dir/rc_filter.cpp.o" "gcc" "src/analog/CMakeFiles/aqua_analog.dir/rc_filter.cpp.o.d"
+  "/root/repo/src/analog/sigma_delta.cpp" "src/analog/CMakeFiles/aqua_analog.dir/sigma_delta.cpp.o" "gcc" "src/analog/CMakeFiles/aqua_analog.dir/sigma_delta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aqua_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqua_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

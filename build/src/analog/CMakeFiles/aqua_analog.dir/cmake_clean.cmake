@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_analog.dir/amplifier.cpp.o"
+  "CMakeFiles/aqua_analog.dir/amplifier.cpp.o.d"
+  "CMakeFiles/aqua_analog.dir/bridge.cpp.o"
+  "CMakeFiles/aqua_analog.dir/bridge.cpp.o.d"
+  "CMakeFiles/aqua_analog.dir/dac.cpp.o"
+  "CMakeFiles/aqua_analog.dir/dac.cpp.o.d"
+  "CMakeFiles/aqua_analog.dir/noise.cpp.o"
+  "CMakeFiles/aqua_analog.dir/noise.cpp.o.d"
+  "CMakeFiles/aqua_analog.dir/rc_filter.cpp.o"
+  "CMakeFiles/aqua_analog.dir/rc_filter.cpp.o.d"
+  "CMakeFiles/aqua_analog.dir/sigma_delta.cpp.o"
+  "CMakeFiles/aqua_analog.dir/sigma_delta.cpp.o.d"
+  "libaqua_analog.a"
+  "libaqua_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

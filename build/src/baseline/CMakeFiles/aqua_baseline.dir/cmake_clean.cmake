@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_baseline.dir/magmeter.cpp.o"
+  "CMakeFiles/aqua_baseline.dir/magmeter.cpp.o.d"
+  "CMakeFiles/aqua_baseline.dir/turbine.cpp.o"
+  "CMakeFiles/aqua_baseline.dir/turbine.cpp.o.d"
+  "CMakeFiles/aqua_baseline.dir/venturi.cpp.o"
+  "CMakeFiles/aqua_baseline.dir/venturi.cpp.o.d"
+  "libaqua_baseline.a"
+  "libaqua_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/aqua_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/calibration_io.cpp" "src/core/CMakeFiles/aqua_core.dir/calibration_io.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/calibration_io.cpp.o.d"
+  "/root/repo/src/core/cta.cpp" "src/core/CMakeFiles/aqua_core.dir/cta.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/cta.cpp.o.d"
+  "/root/repo/src/core/drive_modes.cpp" "src/core/CMakeFiles/aqua_core.dir/drive_modes.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/drive_modes.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/aqua_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/health.cpp" "src/core/CMakeFiles/aqua_core.dir/health.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/health.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/aqua_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/power_budget.cpp" "src/core/CMakeFiles/aqua_core.dir/power_budget.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/power_budget.cpp.o.d"
+  "/root/repo/src/core/rig.cpp" "src/core/CMakeFiles/aqua_core.dir/rig.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/rig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aqua_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/aqua_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqua_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/aqua_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/aqua_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/maf/CMakeFiles/aqua_maf.dir/DependInfo.cmake"
+  "/root/repo/build/src/isif/CMakeFiles/aqua_isif.dir/DependInfo.cmake"
+  "/root/repo/build/src/hydro/CMakeFiles/aqua_hydro.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/aqua_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

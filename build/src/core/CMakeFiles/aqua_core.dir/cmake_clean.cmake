@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_core.dir/calibration.cpp.o"
+  "CMakeFiles/aqua_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/calibration_io.cpp.o"
+  "CMakeFiles/aqua_core.dir/calibration_io.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/cta.cpp.o"
+  "CMakeFiles/aqua_core.dir/cta.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/drive_modes.cpp.o"
+  "CMakeFiles/aqua_core.dir/drive_modes.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/estimator.cpp.o"
+  "CMakeFiles/aqua_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/health.cpp.o"
+  "CMakeFiles/aqua_core.dir/health.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/monitor.cpp.o"
+  "CMakeFiles/aqua_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/power_budget.cpp.o"
+  "CMakeFiles/aqua_core.dir/power_budget.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/rig.cpp.o"
+  "CMakeFiles/aqua_core.dir/rig.cpp.o.d"
+  "libaqua_core.a"
+  "libaqua_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/biquad.cpp" "src/dsp/CMakeFiles/aqua_dsp.dir/biquad.cpp.o" "gcc" "src/dsp/CMakeFiles/aqua_dsp.dir/biquad.cpp.o.d"
+  "/root/repo/src/dsp/cic.cpp" "src/dsp/CMakeFiles/aqua_dsp.dir/cic.cpp.o" "gcc" "src/dsp/CMakeFiles/aqua_dsp.dir/cic.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/dsp/CMakeFiles/aqua_dsp.dir/fir.cpp.o" "gcc" "src/dsp/CMakeFiles/aqua_dsp.dir/fir.cpp.o.d"
+  "/root/repo/src/dsp/fixed_point.cpp" "src/dsp/CMakeFiles/aqua_dsp.dir/fixed_point.cpp.o" "gcc" "src/dsp/CMakeFiles/aqua_dsp.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/dsp/goertzel.cpp" "src/dsp/CMakeFiles/aqua_dsp.dir/goertzel.cpp.o" "gcc" "src/dsp/CMakeFiles/aqua_dsp.dir/goertzel.cpp.o.d"
+  "/root/repo/src/dsp/median.cpp" "src/dsp/CMakeFiles/aqua_dsp.dir/median.cpp.o" "gcc" "src/dsp/CMakeFiles/aqua_dsp.dir/median.cpp.o.d"
+  "/root/repo/src/dsp/nco.cpp" "src/dsp/CMakeFiles/aqua_dsp.dir/nco.cpp.o" "gcc" "src/dsp/CMakeFiles/aqua_dsp.dir/nco.cpp.o.d"
+  "/root/repo/src/dsp/pid.cpp" "src/dsp/CMakeFiles/aqua_dsp.dir/pid.cpp.o" "gcc" "src/dsp/CMakeFiles/aqua_dsp.dir/pid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aqua_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_dsp.dir/biquad.cpp.o"
+  "CMakeFiles/aqua_dsp.dir/biquad.cpp.o.d"
+  "CMakeFiles/aqua_dsp.dir/cic.cpp.o"
+  "CMakeFiles/aqua_dsp.dir/cic.cpp.o.d"
+  "CMakeFiles/aqua_dsp.dir/fir.cpp.o"
+  "CMakeFiles/aqua_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/aqua_dsp.dir/fixed_point.cpp.o"
+  "CMakeFiles/aqua_dsp.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/aqua_dsp.dir/goertzel.cpp.o"
+  "CMakeFiles/aqua_dsp.dir/goertzel.cpp.o.d"
+  "CMakeFiles/aqua_dsp.dir/median.cpp.o"
+  "CMakeFiles/aqua_dsp.dir/median.cpp.o.d"
+  "CMakeFiles/aqua_dsp.dir/nco.cpp.o"
+  "CMakeFiles/aqua_dsp.dir/nco.cpp.o.d"
+  "CMakeFiles/aqua_dsp.dir/pid.cpp.o"
+  "CMakeFiles/aqua_dsp.dir/pid.cpp.o.d"
+  "libaqua_dsp.a"
+  "libaqua_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

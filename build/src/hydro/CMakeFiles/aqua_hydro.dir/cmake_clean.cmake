@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_hydro.dir/network.cpp.o"
+  "CMakeFiles/aqua_hydro.dir/network.cpp.o.d"
+  "CMakeFiles/aqua_hydro.dir/profiles.cpp.o"
+  "CMakeFiles/aqua_hydro.dir/profiles.cpp.o.d"
+  "CMakeFiles/aqua_hydro.dir/water_line.cpp.o"
+  "CMakeFiles/aqua_hydro.dir/water_line.cpp.o.d"
+  "libaqua_hydro.a"
+  "libaqua_hydro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_hydro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isif/channel.cpp" "src/isif/CMakeFiles/aqua_isif.dir/channel.cpp.o" "gcc" "src/isif/CMakeFiles/aqua_isif.dir/channel.cpp.o.d"
+  "/root/repo/src/isif/dac_ctrl.cpp" "src/isif/CMakeFiles/aqua_isif.dir/dac_ctrl.cpp.o" "gcc" "src/isif/CMakeFiles/aqua_isif.dir/dac_ctrl.cpp.o.d"
+  "/root/repo/src/isif/firmware.cpp" "src/isif/CMakeFiles/aqua_isif.dir/firmware.cpp.o" "gcc" "src/isif/CMakeFiles/aqua_isif.dir/firmware.cpp.o.d"
+  "/root/repo/src/isif/ip.cpp" "src/isif/CMakeFiles/aqua_isif.dir/ip.cpp.o" "gcc" "src/isif/CMakeFiles/aqua_isif.dir/ip.cpp.o.d"
+  "/root/repo/src/isif/platform.cpp" "src/isif/CMakeFiles/aqua_isif.dir/platform.cpp.o" "gcc" "src/isif/CMakeFiles/aqua_isif.dir/platform.cpp.o.d"
+  "/root/repo/src/isif/registers.cpp" "src/isif/CMakeFiles/aqua_isif.dir/registers.cpp.o" "gcc" "src/isif/CMakeFiles/aqua_isif.dir/registers.cpp.o.d"
+  "/root/repo/src/isif/selftest.cpp" "src/isif/CMakeFiles/aqua_isif.dir/selftest.cpp.o" "gcc" "src/isif/CMakeFiles/aqua_isif.dir/selftest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aqua_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqua_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/aqua_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/aqua_analog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_isif.dir/channel.cpp.o"
+  "CMakeFiles/aqua_isif.dir/channel.cpp.o.d"
+  "CMakeFiles/aqua_isif.dir/dac_ctrl.cpp.o"
+  "CMakeFiles/aqua_isif.dir/dac_ctrl.cpp.o.d"
+  "CMakeFiles/aqua_isif.dir/firmware.cpp.o"
+  "CMakeFiles/aqua_isif.dir/firmware.cpp.o.d"
+  "CMakeFiles/aqua_isif.dir/ip.cpp.o"
+  "CMakeFiles/aqua_isif.dir/ip.cpp.o.d"
+  "CMakeFiles/aqua_isif.dir/platform.cpp.o"
+  "CMakeFiles/aqua_isif.dir/platform.cpp.o.d"
+  "CMakeFiles/aqua_isif.dir/registers.cpp.o"
+  "CMakeFiles/aqua_isif.dir/registers.cpp.o.d"
+  "CMakeFiles/aqua_isif.dir/selftest.cpp.o"
+  "CMakeFiles/aqua_isif.dir/selftest.cpp.o.d"
+  "libaqua_isif.a"
+  "libaqua_isif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_isif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maf/die.cpp" "src/maf/CMakeFiles/aqua_maf.dir/die.cpp.o" "gcc" "src/maf/CMakeFiles/aqua_maf.dir/die.cpp.o.d"
+  "/root/repo/src/maf/fouling.cpp" "src/maf/CMakeFiles/aqua_maf.dir/fouling.cpp.o" "gcc" "src/maf/CMakeFiles/aqua_maf.dir/fouling.cpp.o.d"
+  "/root/repo/src/maf/package.cpp" "src/maf/CMakeFiles/aqua_maf.dir/package.cpp.o" "gcc" "src/maf/CMakeFiles/aqua_maf.dir/package.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aqua_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/aqua_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqua_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_maf.dir/die.cpp.o"
+  "CMakeFiles/aqua_maf.dir/die.cpp.o.d"
+  "CMakeFiles/aqua_maf.dir/fouling.cpp.o"
+  "CMakeFiles/aqua_maf.dir/fouling.cpp.o.d"
+  "CMakeFiles/aqua_maf.dir/package.cpp.o"
+  "CMakeFiles/aqua_maf.dir/package.cpp.o.d"
+  "libaqua_maf.a"
+  "libaqua_maf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_maf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/carbonate.cpp" "src/phys/CMakeFiles/aqua_phys.dir/carbonate.cpp.o" "gcc" "src/phys/CMakeFiles/aqua_phys.dir/carbonate.cpp.o.d"
+  "/root/repo/src/phys/convection.cpp" "src/phys/CMakeFiles/aqua_phys.dir/convection.cpp.o" "gcc" "src/phys/CMakeFiles/aqua_phys.dir/convection.cpp.o.d"
+  "/root/repo/src/phys/fluid.cpp" "src/phys/CMakeFiles/aqua_phys.dir/fluid.cpp.o" "gcc" "src/phys/CMakeFiles/aqua_phys.dir/fluid.cpp.o.d"
+  "/root/repo/src/phys/membrane.cpp" "src/phys/CMakeFiles/aqua_phys.dir/membrane.cpp.o" "gcc" "src/phys/CMakeFiles/aqua_phys.dir/membrane.cpp.o.d"
+  "/root/repo/src/phys/resistor.cpp" "src/phys/CMakeFiles/aqua_phys.dir/resistor.cpp.o" "gcc" "src/phys/CMakeFiles/aqua_phys.dir/resistor.cpp.o.d"
+  "/root/repo/src/phys/saturation.cpp" "src/phys/CMakeFiles/aqua_phys.dir/saturation.cpp.o" "gcc" "src/phys/CMakeFiles/aqua_phys.dir/saturation.cpp.o.d"
+  "/root/repo/src/phys/thermal.cpp" "src/phys/CMakeFiles/aqua_phys.dir/thermal.cpp.o" "gcc" "src/phys/CMakeFiles/aqua_phys.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aqua_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_phys.dir/carbonate.cpp.o"
+  "CMakeFiles/aqua_phys.dir/carbonate.cpp.o.d"
+  "CMakeFiles/aqua_phys.dir/convection.cpp.o"
+  "CMakeFiles/aqua_phys.dir/convection.cpp.o.d"
+  "CMakeFiles/aqua_phys.dir/fluid.cpp.o"
+  "CMakeFiles/aqua_phys.dir/fluid.cpp.o.d"
+  "CMakeFiles/aqua_phys.dir/membrane.cpp.o"
+  "CMakeFiles/aqua_phys.dir/membrane.cpp.o.d"
+  "CMakeFiles/aqua_phys.dir/resistor.cpp.o"
+  "CMakeFiles/aqua_phys.dir/resistor.cpp.o.d"
+  "CMakeFiles/aqua_phys.dir/saturation.cpp.o"
+  "CMakeFiles/aqua_phys.dir/saturation.cpp.o.d"
+  "CMakeFiles/aqua_phys.dir/thermal.cpp.o"
+  "CMakeFiles/aqua_phys.dir/thermal.cpp.o.d"
+  "libaqua_phys.a"
+  "libaqua_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_sim.dir/integrator.cpp.o"
+  "CMakeFiles/aqua_sim.dir/integrator.cpp.o.d"
+  "CMakeFiles/aqua_sim.dir/schedule.cpp.o"
+  "CMakeFiles/aqua_sim.dir/schedule.cpp.o.d"
+  "CMakeFiles/aqua_sim.dir/trace.cpp.o"
+  "CMakeFiles/aqua_sim.dir/trace.cpp.o.d"
+  "libaqua_sim.a"
+  "libaqua_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_util.dir/log.cpp.o"
+  "CMakeFiles/aqua_util.dir/log.cpp.o.d"
+  "CMakeFiles/aqua_util.dir/math.cpp.o"
+  "CMakeFiles/aqua_util.dir/math.cpp.o.d"
+  "CMakeFiles/aqua_util.dir/rng.cpp.o"
+  "CMakeFiles/aqua_util.dir/rng.cpp.o.d"
+  "CMakeFiles/aqua_util.dir/stats.cpp.o"
+  "CMakeFiles/aqua_util.dir/stats.cpp.o.d"
+  "CMakeFiles/aqua_util.dir/table.cpp.o"
+  "CMakeFiles/aqua_util.dir/table.cpp.o.d"
+  "libaqua_util.a"
+  "libaqua_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

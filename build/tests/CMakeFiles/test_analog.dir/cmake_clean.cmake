@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analog.dir/analog/test_amplifier.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_amplifier.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/test_bridge.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_bridge.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/test_dac.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_dac.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/test_noise.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_noise.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/test_rc_filter.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_rc_filter.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/test_sigma_delta.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_sigma_delta.cpp.o.d"
+  "test_analog"
+  "test_analog.pdb"
+  "test_analog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

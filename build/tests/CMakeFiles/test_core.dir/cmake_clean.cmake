@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_calibration.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_calibration.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_calibration_io.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_calibration_io.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cta.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cta.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cta_sweeps.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cta_sweeps.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_drive_modes.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_drive_modes.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_estimator.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_estimator.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_health.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_health.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_monitor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_monitor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_power_budget.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_power_budget.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/dsp/test_biquad.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_biquad.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_cic.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_cic.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_fir.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_fir.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_fixed_point.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_fixed_point.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_goertzel.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_goertzel.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_median.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_median.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_nco.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_nco.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_pid.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_pid.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+  "test_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hydro.dir/hydro/test_network.cpp.o"
+  "CMakeFiles/test_hydro.dir/hydro/test_network.cpp.o.d"
+  "CMakeFiles/test_hydro.dir/hydro/test_profiles.cpp.o"
+  "CMakeFiles/test_hydro.dir/hydro/test_profiles.cpp.o.d"
+  "CMakeFiles/test_hydro.dir/hydro/test_water_line.cpp.o"
+  "CMakeFiles/test_hydro.dir/hydro/test_water_line.cpp.o.d"
+  "test_hydro"
+  "test_hydro.pdb"
+  "test_hydro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hydro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isif.dir/isif/test_channel.cpp.o"
+  "CMakeFiles/test_isif.dir/isif/test_channel.cpp.o.d"
+  "CMakeFiles/test_isif.dir/isif/test_dac_ctrl.cpp.o"
+  "CMakeFiles/test_isif.dir/isif/test_dac_ctrl.cpp.o.d"
+  "CMakeFiles/test_isif.dir/isif/test_firmware.cpp.o"
+  "CMakeFiles/test_isif.dir/isif/test_firmware.cpp.o.d"
+  "CMakeFiles/test_isif.dir/isif/test_ip.cpp.o"
+  "CMakeFiles/test_isif.dir/isif/test_ip.cpp.o.d"
+  "CMakeFiles/test_isif.dir/isif/test_platform.cpp.o"
+  "CMakeFiles/test_isif.dir/isif/test_platform.cpp.o.d"
+  "CMakeFiles/test_isif.dir/isif/test_registers.cpp.o"
+  "CMakeFiles/test_isif.dir/isif/test_registers.cpp.o.d"
+  "CMakeFiles/test_isif.dir/isif/test_selftest.cpp.o"
+  "CMakeFiles/test_isif.dir/isif/test_selftest.cpp.o.d"
+  "test_isif"
+  "test_isif.pdb"
+  "test_isif[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maf.dir/maf/test_die.cpp.o"
+  "CMakeFiles/test_maf.dir/maf/test_die.cpp.o.d"
+  "CMakeFiles/test_maf.dir/maf/test_fouling.cpp.o"
+  "CMakeFiles/test_maf.dir/maf/test_fouling.cpp.o.d"
+  "CMakeFiles/test_maf.dir/maf/test_package.cpp.o"
+  "CMakeFiles/test_maf.dir/maf/test_package.cpp.o.d"
+  "test_maf"
+  "test_maf.pdb"
+  "test_maf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys.dir/phys/test_carbonate.cpp.o"
+  "CMakeFiles/test_phys.dir/phys/test_carbonate.cpp.o.d"
+  "CMakeFiles/test_phys.dir/phys/test_convection.cpp.o"
+  "CMakeFiles/test_phys.dir/phys/test_convection.cpp.o.d"
+  "CMakeFiles/test_phys.dir/phys/test_fluid.cpp.o"
+  "CMakeFiles/test_phys.dir/phys/test_fluid.cpp.o.d"
+  "CMakeFiles/test_phys.dir/phys/test_membrane.cpp.o"
+  "CMakeFiles/test_phys.dir/phys/test_membrane.cpp.o.d"
+  "CMakeFiles/test_phys.dir/phys/test_resistor.cpp.o"
+  "CMakeFiles/test_phys.dir/phys/test_resistor.cpp.o.d"
+  "CMakeFiles/test_phys.dir/phys/test_saturation.cpp.o"
+  "CMakeFiles/test_phys.dir/phys/test_saturation.cpp.o.d"
+  "CMakeFiles/test_phys.dir/phys/test_thermal.cpp.o"
+  "CMakeFiles/test_phys.dir/phys/test_thermal.cpp.o.d"
+  "test_phys"
+  "test_phys.pdb"
+  "test_phys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
