@@ -18,14 +18,33 @@ isif::IsifConfig fast_isif_config() {
   return cfg;
 }
 
+isif::IsifConfig coarse_isif_config() {
+  isif::IsifConfig cfg;
+  cfg.channel.modulator_clock = util::hertz(16e3);
+  cfg.channel.decimation = 8;
+  cfg.channel.anti_alias_cutoff = util::hertz(2e3);
+  return cfg;
+}
+
+// Named RNG streams of the rig's root seed (counter-based, so each component
+// owns a decorrelated stream and adding components never reshuffles others).
+namespace rig_stream {
+constexpr std::uint64_t kLine = 0;
+constexpr std::uint64_t kMagmeter = 1;
+constexpr std::uint64_t kTurbine = 2;
+constexpr std::uint64_t kAnemometer = 3;
+}  // namespace rig_stream
+
 VinciRig::VinciRig(const RigConfig& config)
     : config_(config),
-      line_(config.line, util::Rng{config.seed}.split()),
-      magmeter_(config.magmeter, util::Rng{config.seed ^ 0x5151} ),
-      turbine_(config.turbine, util::Rng{config.seed ^ 0xACAC}) {
-  util::Rng rng{config.seed ^ 0x77};
-  anemometer_ = std::make_unique<CtaAnemometer>(config.maf, config.isif,
-                                                config.cta, rng);
+      line_(config.line, util::Rng::stream(config.seed, rig_stream::kLine)),
+      magmeter_(config.magmeter,
+                util::Rng::stream(config.seed, rig_stream::kMagmeter)),
+      turbine_(config.turbine,
+               util::Rng::stream(config.seed, rig_stream::kTurbine)) {
+  anemometer_ = std::make_unique<CtaAnemometer>(
+      config.maf, config.isif, config.cta,
+      util::Rng::stream(config.seed, rig_stream::kAnemometer));
 }
 
 Seconds VinciRig::control_period() const {

@@ -33,6 +33,13 @@ struct RigConfig {
 /// simulation ticks (at ~2 bits of ΣΔ resolution cost).
 [[nodiscard]] isif::IsifConfig fast_isif_config();
 
+/// Coarsest channel preset for physics-dominated scenario runs (fouling,
+/// membrane, packaging): 16 kHz modulator, ÷8 CIC — still the 2 kHz control
+/// rate, 16× fewer simulation ticks than the default channel at ~4 bits of
+/// ΣΔ resolution cost. Loop dynamics and fouling physics are unchanged; use
+/// only where ADC resolution is not what the scenario tests.
+[[nodiscard]] isif::IsifConfig coarse_isif_config();
+
 class VinciRig {
  public:
   explicit VinciRig(const RigConfig& config);

@@ -1,0 +1,137 @@
+#include "fleet/fleet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "phys/fluid.hpp"
+
+namespace aqua::fleet {
+
+using util::Seconds;
+
+namespace {
+constexpr double kGravity = 9.80665;
+}  // namespace
+
+sim::Schedule diurnal_demand_pattern(Seconds day) {
+  const double d = day.value();
+  sim::Schedule pattern{0.3};
+  pattern.hold(Seconds{0.25 * d})                  // night valley
+      .ramp_to(1.6, Seconds{0.08 * d})             // morning peak
+      .ramp_to(1.0, Seconds{0.10 * d})             // settle to daytime
+      .hold(Seconds{0.25 * d})                     // daytime plateau
+      .ramp_to(1.3, Seconds{0.10 * d})             // evening peak
+      .hold(Seconds{0.12 * d})
+      .ramp_to(0.3, Seconds{0.10 * d});            // back to night
+  return pattern;
+}
+
+FleetEngine::FleetEngine(hydro::WaterNetwork& network,
+                         std::span<const SensorPlacement> placements,
+                         const FleetConfig& config)
+    : net_(network), config_(config) {
+  base_demands_.resize(net_.node_count(), 0.0);
+  for (hydro::WaterNetwork::NodeId n = 0; n < net_.node_count(); ++n)
+    base_demands_[n] = net_.node_demand(n);
+
+  nodes_.reserve(placements.size());
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    nodes_.push_back(std::make_unique<SensorNode>(
+        i, placements[i], config_.sensor, net_.pipe_diameter(placements[i].pipe),
+        util::Rng::stream(config_.root_seed, i)));
+  }
+
+  apply_demand_factor(config_.demand_factor.at(Seconds{0.0}));
+  if (!net_.solve(config_.water_temperature))
+    throw std::runtime_error("FleetEngine: initial network solve failed");
+}
+
+void FleetEngine::apply_demand_factor(double factor) {
+  for (hydro::WaterNetwork::NodeId n = 0; n < net_.node_count(); ++n)
+    if (!net_.node_is_reservoir(n))
+      net_.set_demand(n, base_demands_[n] * factor);
+}
+
+PipeState FleetEngine::pipe_state_for(const SensorNode& node) const {
+  const auto pipe = node.placement().pipe;
+  PipeState state;
+  state.temperature = config_.water_temperature;
+  state.mean_velocity_mps = net_.pipe_velocity(pipe).value();
+  state.point_velocity_mps =
+      state.mean_velocity_mps *
+      node.profile_factor_at(state.mean_velocity_mps, state.temperature);
+  // Static pressure at the probe: the upstream node's pressure head (the
+  // downstream end for a reservoir-fed pipe) on the atmospheric floor.
+  auto tap = net_.pipe_from(pipe);
+  if (net_.node_is_reservoir(tap)) tap = net_.pipe_to(pipe);
+  const double head = net_.node_is_reservoir(tap)
+                          ? 0.0
+                          : std::max(0.0, net_.node_pressure_head(tap));
+  const double rho = phys::water_properties(state.temperature).density;
+  state.pressure =
+      util::Pascals{config_.atmospheric.value() + rho * kGravity * head};
+  return state;
+}
+
+void FleetEngine::dispatch(util::ThreadPool* pool,
+                           const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr) {
+    pool->parallel_for(nodes_.size(), body);
+  } else {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) body(i);
+  }
+}
+
+void FleetEngine::commission(Seconds settle, util::ThreadPool* pool) {
+  std::vector<PipeState> states;
+  states.reserve(nodes_.size());
+  for (const auto& node : nodes_) states.push_back(pipe_state_for(*node));
+  dispatch(pool, [&](std::size_t i) { nodes_[i]->commission(states[i], settle); });
+}
+
+void FleetEngine::calibrate(std::span<const double> mean_speeds, Seconds dwell,
+                            util::ThreadPool* pool) {
+  std::vector<PipeState> states;
+  states.reserve(nodes_.size());
+  for (const auto& node : nodes_) states.push_back(pipe_state_for(*node));
+  dispatch(pool, [&](std::size_t i) {
+    nodes_[i]->calibrate(states[i], mean_speeds, dwell);
+  });
+}
+
+void FleetEngine::set_shared_fit(const cta::KingFit& fit) {
+  for (auto& node : nodes_) node->set_fit(fit, config_.water_temperature);
+}
+
+void FleetEngine::run(Seconds duration, util::ThreadPool* pool) {
+  const long long epochs = static_cast<long long>(
+      std::ceil(duration.value() / config_.epoch.value()));
+  std::vector<PipeState> states(nodes_.size());
+  for (long long e = 0; e < epochs; ++e) {
+    apply_demand_factor(config_.demand_factor.at(t_));
+    if (!net_.solve(config_.water_temperature)) ++solve_failures_;
+    // Snapshot serially so every sensor task reads a frozen network state.
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+      states[i] = pipe_state_for(*nodes_[i]);
+    dispatch(pool, [&](std::size_t i) {
+      nodes_[i]->advance(states[i], config_.epoch);
+    });
+    t_ += config_.epoch;
+  }
+}
+
+FleetReport FleetEngine::report() const {
+  return build_report(net_, nodes_, t_.value());
+}
+
+std::vector<double> FleetEngine::latest_estimates() const {
+  std::vector<double> estimates;
+  estimates.reserve(nodes_.size());
+  for (const auto& node : nodes_)
+    estimates.push_back(node->trace().empty()
+                            ? 0.0
+                            : node->trace().back().estimate_mps);
+  return estimates;
+}
+
+}  // namespace aqua::fleet

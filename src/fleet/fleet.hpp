@@ -1,0 +1,110 @@
+// fleet.hpp — the fleet co-simulation engine: N independent CTA sensors
+// attached to pipes of a hydro::WaterNetwork, co-simulated against the
+// network's diurnal demand pattern (paper §6: "diffusive monitoring in water
+// distribution networks").
+//
+// Timing model: time advances in fixed epochs. At each epoch boundary the
+// engine (serially) scales the junction demands by the diurnal factor and
+// re-solves the steady-state network; every sensor then integrates its
+// ΣΔ/CIC/PI loop across the epoch under its pipe's frozen hydraulic state —
+// on the caller's thread, or fanned out over a util::ThreadPool.
+//
+// Determinism contract (the load-bearing property): each SensorNode owns all
+// of its mutable state and draws from its private counter-based RNG stream
+// (util::Rng::stream(root_seed, sensor_index)), and epoch snapshots are
+// computed serially before the fan-out. Sensor tasks therefore commute, and
+// the same root seed produces bit-identical per-sensor traces for ANY thread
+// count — including none. The equivalence tests in tests/fleet/ enforce this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fleet/report.hpp"
+#include "fleet/sensor_node.hpp"
+#include "hydro/network.hpp"
+#include "sim/schedule.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace aqua::fleet {
+
+struct FleetConfig {
+  /// Template for every sensor (placement and RNG stream are per-node).
+  SensorNodeConfig sensor{};
+  std::uint64_t root_seed = 42;
+  /// Network solve cadence; sensors integrate one epoch between solves.
+  util::Seconds epoch{0.25};
+  /// Demand multiplier vs simulation time (diurnal pattern; constant 1 by
+  /// default). Applied to the base demands captured at construction.
+  sim::Schedule demand_factor{1.0};
+  util::Kelvin water_temperature = util::celsius(15.0);
+  /// Absolute pressure floor the node pressure heads ride on.
+  util::Pascals atmospheric = util::bar(1.0);
+};
+
+/// Residential 24-hour demand pattern — night valley (0.3×), morning peak
+/// (1.6×), midday plateau, evening peak (1.3×) — compressed to `day`.
+[[nodiscard]] sim::Schedule diurnal_demand_pattern(util::Seconds day);
+
+class FleetEngine {
+ public:
+  /// Captures the network's current demands as the diurnal base and solves
+  /// once. Throws std::runtime_error if that initial solve fails.
+  FleetEngine(hydro::WaterNetwork& network,
+              std::span<const SensorPlacement> placements,
+              const FleetConfig& config);
+
+  /// Settles every sensor at zero flow (parallel across `pool` if given).
+  void commission(util::Seconds settle = util::Seconds{1.0},
+                  util::ThreadPool* pool = nullptr);
+
+  /// Per-sensor King's-law sweep (parallel across `pool` if given). Each die
+  /// gets its own fit, absorbing its tolerance draws.
+  void calibrate(std::span<const double> mean_speeds,
+                 util::Seconds dwell = util::Seconds{0.5},
+                 util::ThreadPool* pool = nullptr);
+
+  /// Fleet-wide nominal fit instead of per-sensor sweeps (cheap, less exact).
+  void set_shared_fit(const cta::KingFit& fit);
+
+  /// Co-simulates `duration` in epochs; serial on the caller's thread when
+  /// `pool` is null, else fanned out — bit-identical either way.
+  void run(util::Seconds duration, util::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] FleetReport report() const;
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const SensorNode& node(std::size_t i) const {
+    return *nodes_[i];
+  }
+  [[nodiscard]] util::Seconds now() const { return t_; }
+  [[nodiscard]] hydro::WaterNetwork& network() { return net_; }
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
+  /// Network solves that failed to converge during run() (previous solution
+  /// carried over).
+  [[nodiscard]] long long solve_failures() const { return solve_failures_; }
+
+  /// Latest per-sensor mean-velocity estimates (sensor order) — the input a
+  /// cta::LeakLocalizer expects.
+  [[nodiscard]] std::vector<double> latest_estimates() const;
+
+ private:
+  [[nodiscard]] PipeState pipe_state_for(const SensorNode& node) const;
+  void apply_demand_factor(double factor);
+  /// Runs body(i) for every node — serially, or on the pool.
+  void dispatch(util::ThreadPool* pool,
+                const std::function<void(std::size_t)>& body);
+
+  hydro::WaterNetwork& net_;
+  FleetConfig config_;
+  std::vector<double> base_demands_;  // indexed by NodeId; 0 for reservoirs
+  std::vector<std::unique_ptr<SensorNode>> nodes_;
+  util::Seconds t_{0.0};
+  long long solve_failures_ = 0;
+};
+
+}  // namespace aqua::fleet

@@ -1,0 +1,84 @@
+#include "fleet/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aqua::fleet {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+std::vector<JunctionBalance> FleetReport::ranked_suspects() const {
+  std::vector<JunctionBalance> ranked = balances;
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const JunctionBalance& a, const JunctionBalance& b) {
+                     if (a.fully_observed != b.fully_observed)
+                       return a.fully_observed;
+                     return std::abs(a.residual_m3s) > std::abs(b.residual_m3s);
+                   });
+  return ranked;
+}
+
+FleetReport build_report(const hydro::WaterNetwork& net,
+                         std::span<const std::unique_ptr<SensorNode>> nodes,
+                         double sim_time_s) {
+  FleetReport report;
+  report.sim_time_s = sim_time_s;
+
+  // Per-sensor accuracy over the recorded trace.
+  std::vector<double> pipe_flow_estimate(net.pipe_count(), 0.0);
+  std::vector<bool> pipe_sensed(net.pipe_count(), false);
+  for (const auto& node : nodes) {
+    SensorSummary s;
+    s.index = node->index();
+    s.pipe = node->placement().pipe;
+    const auto& trace = node->trace();
+    s.samples = trace.size();
+    double sum = 0.0, sum_sq_err = 0.0;
+    for (const TraceSample& sample : trace) {
+      sum += sample.estimate_mps;
+      const double err = sample.estimate_mps - sample.true_mean_mps;
+      sum_sq_err += err * err;
+    }
+    if (!trace.empty()) {
+      s.mean_estimate_mps = sum / static_cast<double>(trace.size());
+      s.rms_error_mps =
+          std::sqrt(sum_sq_err / static_cast<double>(trace.size()));
+      s.final_estimate_mps = trace.back().estimate_mps;
+      s.final_true_mps = trace.back().true_mean_mps;
+    }
+    report.sensors.push_back(s);
+
+    const double d = net.pipe_diameter(s.pipe).value();
+    pipe_flow_estimate[s.pipe] = s.final_estimate_mps * kPi * 0.25 * d * d;
+    pipe_sensed[s.pipe] = true;
+  }
+
+  // Junction mass balances from the sensed flows.
+  for (hydro::WaterNetwork::NodeId n = 0; n < net.node_count(); ++n) {
+    if (net.node_is_reservoir(n)) continue;
+    JunctionBalance balance;
+    balance.node = n;
+    balance.fully_observed = true;
+    double net_inflow = 0.0;
+    for (hydro::WaterNetwork::PipeId p = 0; p < net.pipe_count(); ++p) {
+      const bool incoming = net.pipe_to(p) == n;
+      const bool outgoing = net.pipe_from(p) == n;
+      if (!incoming && !outgoing) continue;
+      if (!net.pipe_open(p)) continue;
+      if (!pipe_sensed[p]) {
+        balance.fully_observed = false;
+        continue;
+      }
+      net_inflow += incoming ? pipe_flow_estimate[p] : -pipe_flow_estimate[p];
+    }
+    balance.residual_m3s = net_inflow - net.node_demand(n);
+    report.balances.push_back(balance);
+    report.total_demand_m3s += net.node_demand(n);
+    report.total_leak_m3s += net.leak_flow(n);
+  }
+  return report;
+}
+
+}  // namespace aqua::fleet

@@ -1,0 +1,53 @@
+// report.hpp — fleet-level aggregation: per-sensor accuracy vs the network
+// ground truth, and per-junction mass-balance residuals. The residual is the
+// fleet's leak signal (paper §6): at a healthy junction the sensed inflow
+// minus sensed outflow matches the billed demand; a leak shows up as a
+// positive unexplained residual approximately equal to the escaping flow.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fleet/sensor_node.hpp"
+#include "hydro/network.hpp"
+
+namespace aqua::fleet {
+
+struct SensorSummary {
+  std::size_t index = 0;
+  hydro::WaterNetwork::PipeId pipe = 0;
+  std::size_t samples = 0;
+  double final_estimate_mps = 0.0;
+  double mean_estimate_mps = 0.0;
+  double rms_error_mps = 0.0;  ///< estimate − truth, rms over the trace
+  double final_true_mps = 0.0;
+};
+
+/// Mass-balance residual at one junction: sensed inflow − sensed outflow −
+/// billed demand (m³/s).
+struct JunctionBalance {
+  hydro::WaterNetwork::NodeId node = 0;
+  double residual_m3s = 0.0;
+  bool fully_observed = false;  ///< every open incident pipe carries a sensor
+};
+
+struct FleetReport {
+  std::vector<SensorSummary> sensors;
+  std::vector<JunctionBalance> balances;
+  double sim_time_s = 0.0;
+  double total_demand_m3s = 0.0;  ///< current (pattern-scaled) network demand
+  double total_leak_m3s = 0.0;    ///< model ground truth, for validation
+
+  /// Junctions ranked as leak suspects: fully observed ones first, then by
+  /// |residual| descending.
+  [[nodiscard]] std::vector<JunctionBalance> ranked_suspects() const;
+};
+
+/// Aggregates the report from the network's current solution and the nodes'
+/// traces (nodes in sensor order).
+[[nodiscard]] FleetReport build_report(
+    const hydro::WaterNetwork& net,
+    std::span<const std::unique_ptr<SensorNode>> nodes, double sim_time_s);
+
+}  // namespace aqua::fleet

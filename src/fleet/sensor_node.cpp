@@ -1,0 +1,119 @@
+#include "fleet/sensor_node.hpp"
+
+#include <cmath>
+
+#include "hydro/profiles.hpp"
+#include "phys/fluid.hpp"
+
+namespace aqua::fleet {
+
+using util::Seconds;
+
+SensorNode::SensorNode(std::size_t index, SensorPlacement placement,
+                       const SensorNodeConfig& config,
+                       util::Metres pipe_diameter, util::Rng rng)
+    : index_(index),
+      placement_(placement),
+      config_(config),
+      pipe_diameter_(pipe_diameter),
+      rng_(rng),
+      anemometer_(config.maf, config.isif, config.cta, rng_.split()) {}
+
+double SensorNode::profile_factor_at(double mean_mps,
+                                     util::Kelvin temperature) const {
+  const auto props = phys::water_properties(temperature);
+  const double re = hydro::pipe_reynolds(
+      props, util::metres_per_second(std::abs(mean_mps)), pipe_diameter_);
+  return hydro::profile_factor(re, placement_.radius_fraction);
+}
+
+maf::Environment SensorNode::environment_for(const PipeState& state) const {
+  maf::Environment env;
+  env.speed = util::metres_per_second(
+      state.point_velocity_mps *
+      (1.0 + config_.turbulence_intensity * turbulence_state_));
+  env.fluid_temperature = state.temperature;
+  env.pressure = state.pressure;
+  return env;
+}
+
+void SensorNode::commission(const PipeState& state, Seconds settle) {
+  PipeState still = state;
+  still.mean_velocity_mps = 0.0;
+  still.point_velocity_mps = 0.0;
+  anemometer_.commission(environment_for(still), settle);
+}
+
+double SensorNode::settled_voltage(const maf::Environment& env,
+                                   Seconds dwell) {
+  const Seconds tick = anemometer_.tick_period();
+  const long long n =
+      static_cast<long long>(std::ceil(dwell.value() / tick.value()));
+  const long long tail_start = n - static_cast<long long>(0.4 * n);
+  double acc = 0.0;
+  long long count = 0;
+  for (long long i = 0; i < n; ++i) {
+    anemometer_.tick(env);
+    if (i >= tail_start) {
+      acc += anemometer_.bridge_voltage();
+      ++count;
+    }
+  }
+  return count > 0 ? acc / static_cast<double>(count) : 0.0;
+}
+
+void SensorNode::calibrate(const PipeState& state,
+                           std::span<const double> mean_speeds,
+                           Seconds dwell) {
+  std::vector<cta::CalPoint> points;
+  points.reserve(mean_speeds.size());
+  for (double mean : mean_speeds) {
+    // Clean sweep (turbulence off), the probe immersed in the point velocity;
+    // calibrating against the mean speed absorbs the profile factor.
+    maf::Environment env;
+    env.speed = util::metres_per_second(
+        mean * profile_factor_at(mean, state.temperature));
+    env.fluid_temperature = state.temperature;
+    env.pressure = state.pressure;
+    points.push_back(cta::CalPoint{mean, settled_voltage(env, dwell)});
+  }
+  estimator_.emplace(cta::fit_kings_law(points), config_.full_scale,
+                     state.temperature);
+}
+
+void SensorNode::set_fit(const cta::KingFit& fit, util::Kelvin fit_temperature) {
+  estimator_.emplace(fit, config_.full_scale, fit_temperature);
+}
+
+void SensorNode::advance(const PipeState& state, Seconds duration) {
+  const int ticks_per_block = config_.isif.channel.decimation;
+  const Seconds tc{ticks_per_block /
+                   config_.isif.channel.modulator_clock.value()};
+  const long long blocks =
+      static_cast<long long>(std::ceil(duration.value() / tc.value()));
+  // AR(1) turbulence refreshed at the control rate, like the station line.
+  const double a =
+      std::exp(-tc.value() / config_.turbulence_correlation.value());
+  const double b = std::sqrt(std::max(0.0, 1.0 - a * a));
+  for (long long blk = 0; blk < blocks; ++blk) {
+    turbulence_state_ = a * turbulence_state_ + b * rng_.gaussian();
+    const maf::Environment env = environment_for(state);
+    for (int i = 0; i < ticks_per_block; ++i) anemometer_.tick(env);
+  }
+
+  TraceSample sample;
+  sample.t_s = anemometer_.now().value();
+  sample.bridge_voltage = anemometer_.bridge_voltage();
+  sample.filtered_voltage = anemometer_.filtered_voltage();
+  sample.true_mean_mps = state.mean_velocity_mps;
+  if (estimator_) {
+    const cta::FlowReading reading = estimator_->read(anemometer_);
+    sample.estimate_mps = reading.speed.value();
+    sample.direction = reading.direction;
+  } else {
+    sample.direction = anemometer_.direction();
+  }
+  trace_.push_back(sample);
+}
+
+}  // namespace aqua::fleet

@@ -183,6 +183,31 @@ bool WaterNetwork::solve(util::Kelvin water_temperature) {
   return false;
 }
 
+WaterNetwork::NodeId WaterNetwork::pipe_from(PipeId p) const {
+  if (p >= pipes_.size()) throw std::out_of_range("WaterNetwork: bad pipe");
+  return pipes_[p].from;
+}
+
+WaterNetwork::NodeId WaterNetwork::pipe_to(PipeId p) const {
+  if (p >= pipes_.size()) throw std::out_of_range("WaterNetwork: bad pipe");
+  return pipes_[p].to;
+}
+
+Metres WaterNetwork::pipe_diameter(PipeId p) const {
+  if (p >= pipes_.size()) throw std::out_of_range("WaterNetwork: bad pipe");
+  return Metres{pipes_[p].diameter};
+}
+
+double WaterNetwork::node_demand(NodeId n) const {
+  if (n >= nodes_.size()) throw std::out_of_range("WaterNetwork: bad node");
+  return nodes_[n].reservoir ? 0.0 : nodes_[n].demand;
+}
+
+bool WaterNetwork::node_is_reservoir(NodeId n) const {
+  if (n >= nodes_.size()) throw std::out_of_range("WaterNetwork: bad node");
+  return nodes_[n].reservoir;
+}
+
 double WaterNetwork::node_head(NodeId n) const {
   if (n >= nodes_.size()) throw std::out_of_range("WaterNetwork: bad node");
   return nodes_[n].head;

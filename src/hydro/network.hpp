@@ -53,6 +53,13 @@ class WaterNetwork {
   /// (the previous solution is left in place).
   [[nodiscard]] bool solve(util::Kelvin water_temperature = util::celsius(15.0));
 
+  // --- topology/geometry accessors (fleet attachment, mass-balance checks) ---
+  [[nodiscard]] NodeId pipe_from(PipeId p) const;
+  [[nodiscard]] NodeId pipe_to(PipeId p) const;
+  [[nodiscard]] util::Metres pipe_diameter(PipeId p) const;
+  [[nodiscard]] double node_demand(NodeId n) const;  ///< m³/s (0 for reservoirs)
+  [[nodiscard]] bool node_is_reservoir(NodeId n) const;
+
   [[nodiscard]] double node_head(NodeId n) const;
   /// Pressure head above elevation (m of water column).
   [[nodiscard]] double node_pressure_head(NodeId n) const;

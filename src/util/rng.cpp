@@ -76,4 +76,19 @@ std::uint64_t Rng::below(std::uint64_t n) {
 
 Rng Rng::split() { return Rng{next_u64()}; }
 
+Rng Rng::stream(std::uint64_t root_seed, std::uint64_t stream_id) {
+  // Murmur3-style finalizer: full-avalanche 64-bit hash, applied twice so the
+  // (root, id) pair is mixed through ~128 bits of nonlinearity before the
+  // SplitMix64 state expansion in the constructor.
+  const auto mix = [](std::uint64_t z) {
+    z ^= z >> 33;
+    z *= 0xFF51AFD7ED558CCDull;
+    z ^= z >> 33;
+    z *= 0xC4CEB9FE1A85EC53ull;
+    z ^= z >> 33;
+    return z;
+  };
+  return Rng{mix(root_seed ^ mix(stream_id + 0x9E3779B97F4A7C15ull))};
+}
+
 }  // namespace aqua::util

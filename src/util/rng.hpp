@@ -41,6 +41,14 @@ class Rng {
   /// Derives an independent child stream; advances this stream.
   Rng split();
 
+  /// Counter-based stream derivation: the `stream_id`-th decorrelated stream
+  /// of a root seed, without constructing or advancing any intermediate
+  /// generator. Same (root_seed, stream_id) ⇒ same stream, regardless of
+  /// construction order or thread — this is the determinism anchor of the
+  /// fleet engine (every sensor owns stream k of the fleet's root seed).
+  [[nodiscard]] static Rng stream(std::uint64_t root_seed,
+                                  std::uint64_t stream_id);
+
  private:
   std::array<std::uint64_t, 4> s_{};
   double spare_ = 0.0;

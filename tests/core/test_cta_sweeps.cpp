@@ -92,7 +92,7 @@ TEST_P(ToleranceSweep, AnyPartFromTheLotCommissionsCorrectly) {
   // Different RNG seeds draw different resistor tolerances, amplifier offsets
   // and DAC mismatch; every part must trim, bootstrap and read direction.
   util::Rng rng{GetParam()};
-  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  CtaAnemometer anemo{maf::MafSpec{}, coarse_isif_config(), CtaConfig{}, rng};
   const auto zero = env_of(0.0, 15.0, 2.0);
   anemo.commission(zero, Seconds{2.0});
   anemo.run(Seconds{2.0}, env_of(0.8, 15.0, 2.0));
@@ -114,7 +114,7 @@ TEST_P(DutySweep, PulsedLoopKeepsMeasuringAtAnyDuty) {
   cfg.pulse.period = Seconds{0.05};
   cfg.pulse.duty = GetParam();
   util::Rng rng{55};
-  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), cfg, rng};
+  CtaAnemometer anemo{maf::MafSpec{}, coarse_isif_config(), cfg, rng};
   anemo.run(Seconds{3.0}, env_of(0.5, 15.0, 2.0));
   const double u_low = anemo.bridge_voltage();
   anemo.run(Seconds{3.0}, env_of(2.0, 15.0, 2.0));

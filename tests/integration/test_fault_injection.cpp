@@ -27,7 +27,7 @@ TEST(FaultInjection, ContinuousHighOvertemperatureGrowsBubblesAndBiasesReading) 
   CtaConfig hot;
   hot.overtemperature = util::kelvin(22.0);
   util::Rng rng{3};
-  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), hot, rng};
+  CtaAnemometer anemo{maf::MafSpec{}, coarse_isif_config(), hot, rng};
   const auto env = aggressive_water();
   anemo.run(Seconds{2.0}, env);
   const double u_clean = anemo.bridge_voltage();
@@ -43,7 +43,7 @@ TEST(FaultInjection, ReducedOvertemperatureStaysClean) {
   CtaConfig cool;
   cool.overtemperature = util::kelvin(5.0);
   util::Rng rng{4};
-  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), cool, rng};
+  CtaAnemometer anemo{maf::MafSpec{}, coarse_isif_config(), cool, rng};
   anemo.run(Seconds{60.0}, aggressive_water());
   EXPECT_DOUBLE_EQ(anemo.die().fouling_a().bubble_coverage(), 0.0);
 }
@@ -53,7 +53,7 @@ TEST(FaultInjection, PulsedDriveReducesBubbleGrowth) {
   CtaConfig cont;
   cont.overtemperature = util::kelvin(22.0);
   util::Rng r1{5};
-  CtaAnemometer continuous{maf::MafSpec{}, fast_isif_config(), cont, r1};
+  CtaAnemometer continuous{maf::MafSpec{}, coarse_isif_config(), cont, r1};
   continuous.run(Seconds{45.0}, env);
 
   CtaConfig pulsed = cont;
@@ -61,7 +61,7 @@ TEST(FaultInjection, PulsedDriveReducesBubbleGrowth) {
   pulsed.pulse.period = Seconds{0.05};
   pulsed.pulse.duty = 0.35;
   util::Rng r2{5};
-  CtaAnemometer gated{maf::MafSpec{}, fast_isif_config(), pulsed, r2};
+  CtaAnemometer gated{maf::MafSpec{}, coarse_isif_config(), pulsed, r2};
   gated.run(Seconds{45.0}, env);
 
   EXPECT_LT(gated.die().fouling_a().bubble_coverage(),

@@ -77,6 +77,39 @@ TEST(Rng, BelowStaysInRange) {
   for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.below(17), 17u);
 }
 
+TEST(Rng, StreamIsAPureFunctionOfSeedAndId) {
+  Rng a = Rng::stream(123, 7);
+  Rng b = Rng::stream(123, 7);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamDerivationIsOrderIndependent) {
+  // Counter-based derivation: the sequence of stream 2 cannot depend on
+  // whether stream 5 was created before or after it.
+  Rng five_first_2 = [&] {
+    (void)Rng::stream(321, 5);
+    return Rng::stream(321, 2);
+  }();
+  Rng two_first_2 = Rng::stream(321, 2);
+  for (int i = 0; i < 100; ++i)
+    ASSERT_EQ(five_first_2.next_u64(), two_first_2.next_u64());
+}
+
+TEST(Rng, AdjacentStreamsAreDecorrelated) {
+  Rng a = Rng::stream(7, 0);
+  Rng b = Rng::stream(7, 1);
+  double sum_xy = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum_xy += a.gaussian() * b.gaussian();
+  EXPECT_NEAR(sum_xy / kN, 0.0, 0.03);
+}
+
+TEST(Rng, DifferentRootSeedsGiveDifferentStreams) {
+  Rng a = Rng::stream(1, 0);
+  Rng b = Rng::stream(2, 0);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
 TEST(Rng, SplitStreamsAreDecorrelated) {
   Rng parent{99};
   Rng child = parent.split();
