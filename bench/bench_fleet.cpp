@@ -8,12 +8,16 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common.hpp"
 #include "fleet/fleet.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -92,6 +96,46 @@ RunResult run_mode(unsigned threads, double sim_seconds) {
   return r;
 }
 
+/// Machine-readable result file (CI artifact): per-mode timings/checksums plus
+/// the merged metrics snapshot — epoch/step latency histograms, channel
+/// overload and PI saturation counters accumulated over every mode.
+void write_json_report(const std::vector<std::pair<std::string, RunResult>>& modes,
+                       bool deterministic) {
+  const char* env_path = std::getenv("AQUA_BENCH_JSON");
+  const std::string path = env_path != nullptr ? env_path : "BENCH_fleet.json";
+
+  std::string out;
+  out += "{\n  \"bench\": \"bench_fleet\",\n";
+  out += std::string("  \"deterministic\": ") +
+         (deterministic ? "true" : "false") + ",\n";
+  out += "  \"modes\": [\n";
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const auto& [name, r] = modes[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"mode\": \"%s\", \"wall_s\": %.6f, "
+                  "\"throughput\": %.3f, \"sensors\": %zu, "
+                  "\"checksum\": \"%016llx\"}%s\n",
+                  name.c_str(), r.wall_s, r.throughput, r.sensors,
+                  static_cast<unsigned long long>(r.checksum),
+                  i + 1 < modes.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ],\n";
+  // Re-indent the snapshot under the "metrics" key (it renders from column 0).
+  std::string metrics = obs::to_json(obs::Registry::instance().snapshot());
+  std::string indented;
+  indented.reserve(metrics.size());
+  for (char c : metrics) {
+    indented += c;
+    if (c == '\n') indented += "  ";
+  }
+  out += "  \"metrics\": " + indented + "\n}\n";
+
+  obs::write_file(path, out);
+  std::printf("metrics: wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main() {
@@ -108,7 +152,10 @@ int main() {
   std::printf("%-12s %10s %16s %18s\n", "mode", "wall [s]",
               "sensors*sims/s", "trace checksum");
 
+  std::vector<std::pair<std::string, RunResult>> results;
+
   const RunResult serial = run_mode(0, sim_seconds);
+  results.emplace_back("serial", serial);
   std::printf("%-12s %10.3f %16.1f %18llx\n", "serial", serial.wall_s,
               serial.throughput,
               static_cast<unsigned long long>(serial.checksum));
@@ -120,6 +167,7 @@ int main() {
     deterministic = deterministic && same;
     char mode[32];
     std::snprintf(mode, sizeof mode, "pool(%u)", threads);
+    results.emplace_back(mode, r);
     std::printf("%-12s %10.3f %16.1f %18llx%s\n", mode, r.wall_s,
                 r.throughput, static_cast<unsigned long long>(r.checksum),
                 same ? "" : "  << MISMATCH");
@@ -128,6 +176,7 @@ int main() {
   std::printf("\ndeterminism: %s — every mode reproduced the serial traces "
               "bit-for-bit\n",
               deterministic ? "PASS" : "FAIL");
+  write_json_report(results, deterministic);
   if (hw <= 1)
     std::printf("note: single hardware thread — parallel modes time-slice "
                 "one core, so no wall-clock speedup is expected here.\n");

@@ -37,6 +37,13 @@ double InstrumentAmp::step(Volts differential_input, Seconds dt,
   return std::clamp(band_limited, -half_rail, half_rail);
 }
 
+void InstrumentAmp::reset() {
+  white_.reset();
+  flicker_.reset();
+  pole_.reset(0.0);
+  saturated_ = false;
+}
+
 void InstrumentAmp::set_gain(double gain) {
   if (gain <= 0.0) throw std::invalid_argument("InstrumentAmp: bad gain");
   spec_.gain = gain;

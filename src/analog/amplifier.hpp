@@ -39,6 +39,11 @@ class InstrumentAmp {
   double step(util::Volts differential_input, util::Seconds dt,
               util::Kelvin ambient = util::celsius(25.0));
 
+  /// Returns the stage to its post-construction state: pole discharged,
+  /// saturation flag cleared, noise streams rewound. The offset is a one-time
+  /// physical draw (a part property, not state) and survives reset.
+  void reset();
+
   void set_gain(double gain);
   [[nodiscard]] double gain() const { return spec_.gain; }
   [[nodiscard]] util::Volts offset() const { return offset_; }

@@ -39,6 +39,11 @@ Volts ThermometerDac::step(Seconds dt) {
   return Volts{buffer_.step(static_output().value(), dt)};
 }
 
+void ThermometerDac::reset() {
+  code_ = 0;
+  buffer_.reset(0.0);
+}
+
 int ThermometerDac::max_code() const {
   return static_cast<int>((std::size_t{1} << spec_.bits) - 1);
 }

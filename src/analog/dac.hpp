@@ -34,6 +34,10 @@ class ThermometerDac {
   /// Advances the output buffer by dt and returns the settled output voltage.
   util::Volts step(util::Seconds dt);
 
+  /// Returns to the post-construction state: code 0, buffer discharged. The
+  /// element-mismatch draw is a part property and survives reset.
+  void reset();
+
   [[nodiscard]] int code() const { return code_; }
   [[nodiscard]] int max_code() const;
   [[nodiscard]] util::Volts ideal_output(int code) const;

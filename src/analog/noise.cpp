@@ -12,12 +12,16 @@ using util::Ohms;
 using util::Rng;
 
 WhiteNoise::WhiteNoise(double density, Hertz sample_rate, Rng rng)
-    : sigma_(density * std::sqrt(0.5 * sample_rate.value())), rng_(rng) {
+    : sigma_(density * std::sqrt(0.5 * sample_rate.value())),
+      rng_(rng),
+      initial_rng_(rng) {
   if (density < 0.0 || sample_rate.value() <= 0.0)
     throw std::invalid_argument("WhiteNoise: bad parameters");
 }
 
 double WhiteNoise::sample() { return rng_.gaussian(0.0, sigma_); }
+
+void WhiteNoise::reset() { rng_ = initial_rng_; }
 
 FlickerNoise::FlickerNoise(double density_at_corner, Hertz corner,
                            Hertz sample_rate, Rng rng)
@@ -34,6 +38,14 @@ FlickerNoise::FlickerNoise(double density_at_corner, Hertz corner,
            (unit_density_at_corner * std::sqrt(sample_rate.value()));
   // The two sqrt(fs) factors cancel; kept explicit for clarity of derivation.
   for (auto& r : rows_) r = rng_.gaussian();
+  initial_rows_ = rows_;
+  initial_rng_ = rng_;
+}
+
+void FlickerNoise::reset() {
+  rows_ = initial_rows_;
+  counter_ = 0;
+  rng_ = initial_rng_;
 }
 
 double FlickerNoise::sample() {

@@ -19,11 +19,15 @@ class WhiteNoise {
   WhiteNoise(double density, util::Hertz sample_rate, util::Rng rng);
 
   double sample();
+  /// Rewinds the draw stream to its construction state, so a reset component
+  /// replays bit-identically (the library-wide reset contract, DESIGN.md §8).
+  void reset();
   [[nodiscard]] double sigma() const { return sigma_; }
 
  private:
   double sigma_;
   util::Rng rng_;
+  util::Rng initial_rng_;
 };
 
 /// Pink (1/f) noise via Voss-McCartney row updates, normalised so that the
@@ -34,13 +38,17 @@ class FlickerNoise {
                util::Hertz sample_rate, util::Rng rng);
 
   double sample();
+  /// Restores rows, counter and draw stream to their construction state.
+  void reset();
 
  private:
   static constexpr int kRows = 16;
   std::array<double, kRows> rows_{};
+  std::array<double, kRows> initial_rows_{};
   unsigned counter_ = 0;
   double scale_;
   util::Rng rng_;
+  util::Rng initial_rng_;
 };
 
 /// Johnson–Nyquist thermal noise density of a resistor: √(4·kB·T·R) in V/√Hz.

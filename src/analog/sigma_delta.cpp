@@ -10,7 +10,7 @@ using util::Rng;
 using util::Volts;
 
 SigmaDeltaModulator::SigmaDeltaModulator(const SigmaDeltaSpec& spec, Rng rng)
-    : spec_(spec), rng_(rng) {
+    : spec_(spec), rng_(rng), initial_rng_(rng) {
   if (spec.full_scale.value() <= 0.0)
     throw std::invalid_argument("SigmaDeltaModulator: bad full scale");
 }
@@ -38,6 +38,9 @@ void SigmaDeltaModulator::reset() {
   s1_ = s2_ = 0.0;
   prev_bit_ = 1;
   overloaded_ = false;
+  // Rewind the dither stream too — without this a reset modulator produces a
+  // different bitstream than a freshly constructed one and replay diverges.
+  rng_ = initial_rng_;
 }
 
 }  // namespace aqua::analog

@@ -34,6 +34,7 @@ class SigmaDeltaModulator {
  private:
   SigmaDeltaSpec spec_;
   util::Rng rng_;
+  util::Rng initial_rng_;
   double s1_ = 0.0;
   double s2_ = 0.0;
   int prev_bit_ = 1;

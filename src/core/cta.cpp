@@ -5,9 +5,19 @@
 #include <stdexcept>
 
 #include "analog/bridge.hpp"
+#include "obs/metrics.hpp"
 #include "phys/resistor.hpp"
 
 namespace aqua::cta {
+
+namespace {
+// Simulated seconds of zero-flow settling each commissioning consumed. The
+// observation is simulation time (deterministic), not wall time.
+const obs::Histogram kCommissionSettle{
+    "cta.commission.settle_sim_seconds",
+    obs::HistogramSpec{0.1, 100.0, 30, true}};
+const obs::Counter kAdcOverloadTicks{"cta.loop.adc_overload_ticks"};
+}  // namespace
 
 using util::Hertz;
 using util::Kelvin;
@@ -137,6 +147,7 @@ void CtaAnemometer::tick(const maf::Environment& env) {
     const double max_code = 32767.0;  // 16-bit channel word
     pending_error_code_ = static_cast<double>(sample_a->code) / max_code;
     adc_overload_ = sample_a->overload;
+    if (adc_overload_) kAdcOverloadTicks.add(1);
     isif_.firmware().tick();
   }
 }
@@ -161,11 +172,14 @@ void CtaAnemometer::control_update() {
         std::lround(config_.pulse.keep_alive * max_code)));
     return;  // PI frozen through the off phase
   }
+  const double error = -pending_error_code_;
   if (!was_on_) {
-    pi_.reset(u_held_);  // bumpless resume
+    // Bumpless resume: back-calculate the integrator against the error the
+    // loop is about to see, so update() reproduces u_held_ exactly instead of
+    // re-adding the proportional term on top of it.
+    pi_.reset(u_held_, error);
     was_on_ = true;
   }
-  const double error = -pending_error_code_;
   u_ = pi_.update(error);
   dac.request_code(static_cast<int>(std::lround(u_ * max_code)));
 }
@@ -181,14 +195,42 @@ void CtaAnemometer::commission(const maf::Environment& zero_flow_env,
   // The heavily-filtered direction signal settles slowly, so the null is
   // taken in passes: each pass absorbs what the filter has converged to and
   // the loop stops once the increment is negligible against the dead-band.
+  double settled = 0.0;
   for (int pass = 0; pass < 5; ++pass) {
     run(settle, zero_flow_env);
+    settled += settle.value();
     const double increment = dir_filtered_;
     direction_offset_ += increment;
     direction_lp_.reset(0.0);
     dir_filtered_ = 0.0;
     if (std::abs(increment) < 0.25 * config_.direction_deadband) break;
   }
+  kCommissionSettle.observe(settled);
+}
+
+void CtaAnemometer::reset() {
+  die_.reset();
+  package_.reset();
+  isif_.reset();
+  output_iir_.reset();
+  direction_lp_.reset(0.0);
+  t_ = Seconds{0.0};
+  control_ticks_ = 0;
+  pending_error_code_ = 0.0;
+  pending_dir_code_ = 0.0;
+  adc_overload_ = false;
+  filtered_u_ = 0.0;
+  direction_offset_ = 0.0;
+  dir_filtered_ = 0.0;
+  phase_on_ = true;
+  was_on_ = true;
+  output_primed_ = false;
+  // Same bootstrap sequence as the constructor: keep-alive floor on the PI
+  // and the bridge-supply DAC.
+  u_ = u_held_ = config_.pi_min;
+  pi_.reset(u_);
+  isif_.dac(0).request_code(static_cast<int>(
+      std::lround(u_ * isif_.dac(0).dac().max_code())));
 }
 
 double CtaAnemometer::bridge_voltage() const {

@@ -102,6 +102,12 @@ class CtaAnemometer {
   void commission(const maf::Environment& zero_flow_env,
                   util::Seconds settle = util::Seconds{3.0});
 
+  /// Returns the whole loop — die, package, platform, PI, filters, timers,
+  /// commissioning null — to its post-construction state. One-time part draws
+  /// (tolerances, offsets, mismatch) persist; noise/dither streams rewind, so
+  /// a reset loop replays a stimulus bit-identically.
+  void reset();
+
   [[nodiscard]] util::Seconds tick_period() const;
   [[nodiscard]] util::Hertz control_rate() const;
   [[nodiscard]] util::Seconds now() const { return t_; }

@@ -38,11 +38,12 @@ double PidController::update(double error) {
   return u;
 }
 
-void PidController::reset(double output) {
-  integral_ = std::clamp(output, limits_.out_min, limits_.out_max);
-  prev_error_ = 0.0;
+void PidController::reset(double output, double error) {
+  const double u = std::clamp(output, limits_.out_min, limits_.out_max);
+  integral_ = u - gains_.kp * error;
+  prev_error_ = error;
   have_prev_ = false;
-  last_output_ = integral_;
+  last_output_ = u;
 }
 
 }  // namespace aqua::dsp

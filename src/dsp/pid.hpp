@@ -26,10 +26,11 @@ class PidController {
   /// One control step: returns the actuation for the given error.
   double update(double error);
 
-  /// Resets dynamic state; `output` pre-loads the integrator so the loop
-  /// resumes from a known actuation (bumpless restart after pulsed-drive off
-  /// phases).
-  void reset(double output = 0.0);
+  /// Resets dynamic state so the next update() with error ≈ `error` reproduces
+  /// `output` (clamped to the limits). The integrator is back-calculated as
+  /// clamp(output) − kp·error: pre-loading it with the raw output would fold
+  /// the proportional term in twice and bump the loop on resume.
+  void reset(double output = 0.0, double error = 0.0);
 
   [[nodiscard]] double output() const { return last_output_; }
   [[nodiscard]] double integrator() const { return integral_; }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "phys/fluid.hpp"
 
 namespace aqua::fleet {
@@ -11,6 +12,17 @@ using util::Seconds;
 
 namespace {
 constexpr double kGravity = 9.80665;
+
+// Fleet-engine telemetry. The latency histograms record wall time — useful
+// for scheduling analysis, explicitly outside the determinism contract (the
+// counters and the simulation traces are the deterministic part).
+const obs::Counter kEpochs{"fleet.epochs"};
+const obs::Counter kSolveFailures{"fleet.solve_failures"};
+const obs::Counter kSensorSteps{"fleet.sensor_steps"};
+const obs::Histogram kEpochWall{"fleet.epoch_wall_seconds",
+                                obs::HistogramSpec{1e-5, 100.0, 42, true}};
+const obs::Histogram kSensorStepWall{"fleet.sensor_step_wall_seconds",
+                                     obs::HistogramSpec{1e-6, 10.0, 42, true}};
 }  // namespace
 
 sim::Schedule diurnal_demand_pattern(Seconds day) {
@@ -108,15 +120,22 @@ void FleetEngine::run(Seconds duration, util::ThreadPool* pool) {
       std::ceil(duration.value() / config_.epoch.value()));
   std::vector<PipeState> states(nodes_.size());
   for (long long e = 0; e < epochs; ++e) {
+    const obs::ScopedTimer epoch_timer{kEpochWall};
     apply_demand_factor(config_.demand_factor.at(t_));
-    if (!net_.solve(config_.water_temperature)) ++solve_failures_;
+    if (!net_.solve(config_.water_temperature)) {
+      ++solve_failures_;
+      kSolveFailures.add(1);
+    }
     // Snapshot serially so every sensor task reads a frozen network state.
     for (std::size_t i = 0; i < nodes_.size(); ++i)
       states[i] = pipe_state_for(*nodes_[i]);
     dispatch(pool, [&](std::size_t i) {
+      const obs::ScopedTimer step_timer{kSensorStepWall};
       nodes_[i]->advance(states[i], config_.epoch);
+      kSensorSteps.add(1);
     });
     t_ += config_.epoch;
+    kEpochs.add(1);
   }
 }
 

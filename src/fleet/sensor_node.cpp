@@ -17,7 +17,15 @@ SensorNode::SensorNode(std::size_t index, SensorPlacement placement,
       config_(config),
       pipe_diameter_(pipe_diameter),
       rng_(rng),
-      anemometer_(config.maf, config.isif, config.cta, rng_.split()) {}
+      anemometer_(config.maf, config.isif, config.cta, rng_.split()),
+      initial_rng_(rng_) {}
+
+void SensorNode::reset() {
+  anemometer_.reset();
+  turbulence_state_ = 0.0;
+  trace_.clear();
+  rng_ = initial_rng_;
+}
 
 double SensorNode::profile_factor_at(double mean_mps,
                                      util::Kelvin temperature) const {

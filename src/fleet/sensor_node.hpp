@@ -89,6 +89,11 @@ class SensorNode {
   /// turbulence stream superposed), then appends one trace sample.
   void advance(const PipeState& state, util::Seconds duration);
 
+  /// Post-construction state: anemometer reset, turbulence zeroed, trace
+  /// cleared, this node's RNG stream rewound — so the same stimulus replays
+  /// bit-identically. An installed calibration fit is configuration and kept.
+  void reset();
+
   [[nodiscard]] std::size_t index() const { return index_; }
   [[nodiscard]] const SensorPlacement& placement() const { return placement_; }
   [[nodiscard]] const std::vector<TraceSample>& trace() const { return trace_; }
@@ -118,6 +123,8 @@ class SensorNode {
   util::Metres pipe_diameter_;
   util::Rng rng_;  // declared before anemometer_: construction order matters
   cta::CtaAnemometer anemometer_;
+  // Captures rng_ *after* the anemometer split above, for reset() rewind.
+  util::Rng initial_rng_;
   std::optional<cta::FlowEstimator> estimator_;
   double turbulence_state_ = 0.0;
   std::vector<TraceSample> trace_;

@@ -2,7 +2,17 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace aqua::isif {
+
+namespace {
+// Channel-level telemetry: decimated samples produced and modulator-overload
+// blocks observed. Counters only read state the datapath already computes, so
+// enabling them cannot perturb the bitstream (DESIGN.md §8).
+const obs::Counter kSamples{"isif.channel.samples"};
+const obs::Counter kOverloadBlocks{"isif.channel.overload_blocks"};
+}  // namespace
 
 using util::Hertz;
 using util::Kelvin;
@@ -41,6 +51,8 @@ std::optional<ChannelSample> InputChannel::tick(Volts differential_input,
       dsp::dequantize_code(code, config_.adc.full_scale.value(),
                            config_.output_bits);
   ChannelSample sample{code, adc_input_volts / amp_.gain(), overload_latch_};
+  kSamples.add(1);
+  if (overload_latch_) kOverloadBlocks.add(1);
   overload_latch_ = false;
   return sample;
 }
@@ -60,6 +72,7 @@ Volts InputChannel::input_referred_lsb() const {
 }
 
 void InputChannel::reset() {
+  amp_.reset();
   lpf_.reset();
   adc_.reset();
   cic_.reset();

@@ -25,6 +25,11 @@ void DacController::request_voltage(Volts v) {
   request_code(static_cast<int>(std::lround(frac * dac_.max_code())));
 }
 
+void DacController::reset() {
+  target_ = 0;
+  dac_.reset();
+}
+
 Volts DacController::update(Seconds dt) {
   int next = target_;
   if (max_step_ > 0) {

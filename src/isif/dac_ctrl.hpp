@@ -23,6 +23,9 @@ class DacController {
   /// settling; returns the DAC output voltage.
   util::Volts update(util::Seconds dt);
 
+  /// Post-construction state: target 0 and the DAC's own reset.
+  void reset();
+
   [[nodiscard]] int current_code() const { return dac_.code(); }
   [[nodiscard]] int target_code() const { return target_; }
   [[nodiscard]] const analog::ThermometerDac& dac() const { return dac_; }

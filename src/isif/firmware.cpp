@@ -32,6 +32,13 @@ void Firmware::tick() {
   if (tick_cycles > cycles_per_tick_budget_) watchdog_ = true;
 }
 
+void Firmware::reset() {
+  ticks_ = 0;
+  total_cycles_ = 0.0;
+  peak_tick_cycles_ = 0.0;
+  watchdog_ = false;
+}
+
 double Firmware::average_load() const {
   if (ticks_ == 0) return 0.0;
   return total_cycles_ / (static_cast<double>(ticks_) * cycles_per_tick_budget_);

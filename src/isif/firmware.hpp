@@ -32,6 +32,10 @@ class Firmware {
   /// Runs due tasks for this base tick.
   void tick();
 
+  /// Clears the tick counter, load accounting and watchdog; the registered
+  /// task table (configuration, not state) is kept.
+  void reset();
+
   /// Average CPU load (fraction of available cycles) since construction.
   [[nodiscard]] double average_load() const;
   /// Worst single-tick load observed.

@@ -3,9 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace aqua::isif {
 
 using dsp::Q23;
+
+namespace {
+// CTA-loop PI telemetry: output-clamp events and anti-windup holds (ticks
+// where the conditional integrator discarded its increment). Observers only —
+// they never feed back into the control arithmetic.
+const obs::Counter kPiSaturation{"cta.pi.saturation_events"};
+const obs::Counter kPiAntiWindup{"cta.pi.antiwindup_holds"};
+}  // namespace
 
 IirIp::IirIp(std::vector<dsp::BiquadCoefficients> sections, IpImpl impl,
              const CycleCosts& costs)
@@ -66,7 +76,12 @@ PiIp::PiIp(const dsp::PidGains& gains, const dsp::PidLimits& limits,
 
 double PiIp::update(double error) {
   if (impl_ == IpImpl::kSoftwareFloat) {
+    const double integral_before = float_path_.integrator();
     last_output_ = float_path_.update(error);
+    if (last_output_ >= out_max_ || last_output_ <= out_min_) {
+      kPiSaturation.add(1);
+      if (float_path_.integrator() == integral_before) kPiAntiWindup.add(1);
+    }
     return last_output_;
   }
   const Q23 e = Q23::from_double(error);
@@ -74,10 +89,18 @@ double PiIp::update(double error) {
   double u = (kp_ * e + tentative).to_double();
   if (u > out_max_) {
     u = out_max_;
-    if ((ki_dt_ * e).to_double() < 0.0) integral_ = tentative;
+    if ((ki_dt_ * e).to_double() < 0.0)
+      integral_ = tentative;
+    else
+      kPiAntiWindup.add(1);
+    kPiSaturation.add(1);
   } else if (u < out_min_) {
     u = out_min_;
-    if ((ki_dt_ * e).to_double() > 0.0) integral_ = tentative;
+    if ((ki_dt_ * e).to_double() > 0.0)
+      integral_ = tentative;
+    else
+      kPiAntiWindup.add(1);
+    kPiSaturation.add(1);
   } else {
     integral_ = tentative;
   }
@@ -85,10 +108,13 @@ double PiIp::update(double error) {
   return u;
 }
 
-void PiIp::reset(double output) {
-  float_path_.reset(output);
-  integral_ = Q23::from_double(std::clamp(output, out_min_, out_max_));
-  last_output_ = integral_.to_double();
+void PiIp::reset(double output, double error) {
+  float_path_.reset(output, error);
+  const double u = std::clamp(output, out_min_, out_max_);
+  // Same back-calculation as the float path, in the datapath's own Q23
+  // arithmetic so hardware and bit-exact software resume identically.
+  integral_ = Q23::from_double(u) - kp_ * Q23::from_double(error);
+  last_output_ = u;
 }
 
 int PiIp::cycles_per_sample() const {

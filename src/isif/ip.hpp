@@ -68,7 +68,10 @@ class PiIp {
        util::Hertz rate, IpImpl impl, const CycleCosts& costs = {});
 
   double update(double error);
-  void reset(double output = 0.0);
+  /// Bumpless restart: the next update() with error ≈ `error` reproduces
+  /// `output` (clamped). See dsp::PidController::reset for the
+  /// back-calculation; the fixed path applies the same identity in Q23.
+  void reset(double output = 0.0, double error = 0.0);
 
   [[nodiscard]] IpImpl implementation() const { return impl_; }
   [[nodiscard]] int cycles_per_sample() const;

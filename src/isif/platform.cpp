@@ -35,6 +35,12 @@ DacController& Isif::dac(int index) {
   return *dacs_[index];
 }
 
+void Isif::reset() {
+  for (auto& ch : channels_) ch->reset();
+  for (auto& dac : dacs_) dac->reset();
+  firmware_.reset();
+}
+
 void Isif::apply_registers() {
   for (int i = 0; i < kChannelCount; ++i) {
     const auto sel =

@@ -44,6 +44,11 @@ class Isif {
   /// analog blocks — the JLCC-style configuration crossing.
   void apply_registers();
 
+  /// Platform-wide return to the post-construction state: all channels, all
+  /// DAC controllers and the firmware scheduler. Register contents and the
+  /// per-part mismatch draws persist, as they would through a chip reset.
+  void reset();
+
  private:
   IsifConfig config_;
   std::array<std::unique_ptr<InputChannel>, kChannelCount> channels_;

@@ -183,6 +183,13 @@ void MafDie::settle(const Environment& env) {
   }
 }
 
+void MafDie::reset() {
+  net_.reset();
+  fouling_a_.clean();
+  fouling_b_.clean();
+  membrane_intact_ = true;
+}
+
 DieTemperatures MafDie::temperatures() const {
   return DieTemperatures{net_.temperature(n_heater_a_),
                          net_.temperature(n_heater_b_),

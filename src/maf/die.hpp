@@ -94,6 +94,11 @@ class MafDie {
   /// (fouling state is left untouched). Used by the quasi-static solver.
   void settle(const Environment& env);
 
+  /// As-built die again: thermal network at its initial temperatures, clean
+  /// surfaces, membrane intact. The manufacturing-tolerance draws (element R0
+  /// spread) are part properties and persist.
+  void reset();
+
   [[nodiscard]] DieTemperatures temperatures() const;
   [[nodiscard]] const FoulingState& fouling_a() const { return fouling_a_; }
   [[nodiscard]] const FoulingState& fouling_b() const { return fouling_b_; }

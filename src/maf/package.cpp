@@ -14,9 +14,15 @@ using util::Seconds;
 using util::Volts;
 
 Package::Package(const PackageSpec& spec, util::Rng rng)
-    : spec_(spec), rng_(rng) {
+    : spec_(spec), rng_(rng), initial_rng_(rng) {
   if (spec.sealing_quality < 0.0 || spec.sealing_quality > 1.0)
     throw std::invalid_argument("Package: sealing_quality outside [0,1]");
+}
+
+void Package::reset() {
+  moisture_ = 0.0;
+  corrosion_ = 0.0;
+  rng_ = initial_rng_;
 }
 
 void Package::step(Seconds dt, Pascals pressure) {

@@ -56,9 +56,13 @@ class Package {
 
   [[nodiscard]] const PackageSpec& spec() const { return spec_; }
 
+  /// Fresh assembly again: dry, pristine, pitting draw stream rewound.
+  void reset();
+
  private:
   PackageSpec spec_;
   util::Rng rng_;
+  util::Rng initial_rng_;
   double moisture_ = 0.0;   // 0 dry .. 1 soaked
   double corrosion_ = 0.0;  // 0 pristine .. 1 destroyed
 };

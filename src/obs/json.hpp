@@ -1,0 +1,22 @@
+// json.hpp — machine-readable export of an obs::Snapshot. The emitted object
+// is the `metrics` block of the BENCH_fleet.json schema (see bench_fleet and
+// DESIGN.md §8): counters and gauges as name→value maps, histograms as
+// {edges, counts, count, sum, min, max}. Keys are sorted, doubles are printed
+// round-trip exact (%.17g), so the output is stable for diffing between runs.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace aqua::obs {
+
+/// Serialises one snapshot as a JSON object. `indent` spaces per level; the
+/// result has no trailing newline.
+[[nodiscard]] std::string to_json(const Snapshot& snapshot, int indent = 2);
+
+/// Writes `text` to `path` (truncating), appending a final newline. Throws
+/// std::runtime_error on I/O failure.
+void write_file(const std::string& path, const std::string& text);
+
+}  // namespace aqua::obs

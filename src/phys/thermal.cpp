@@ -13,12 +13,12 @@ ThermalNetwork::NodeId ThermalNetwork::add_node(double capacitance,
                                                 Kelvin initial) {
   if (capacitance <= 0.0)
     throw std::invalid_argument("ThermalNetwork: capacitance must be positive");
-  nodes_.push_back(Node{capacitance, initial.value(), 0.0, false});
+  nodes_.push_back(Node{capacitance, initial.value(), 0.0, false, initial.value()});
   return nodes_.size() - 1;
 }
 
 ThermalNetwork::NodeId ThermalNetwork::add_boundary(Kelvin temperature) {
-  nodes_.push_back(Node{0.0, temperature.value(), 0.0, true});
+  nodes_.push_back(Node{0.0, temperature.value(), 0.0, true, temperature.value()});
   return nodes_.size() - 1;
 }
 
@@ -28,7 +28,7 @@ ThermalNetwork::EdgeId ThermalNetwork::connect(NodeId a, NodeId b,
   check_node(b);
   if (conductance < 0.0)
     throw std::invalid_argument("ThermalNetwork: negative conductance");
-  edges_.push_back(Edge{a, b, conductance});
+  edges_.push_back(Edge{a, b, conductance, conductance});
   return edges_.size() - 1;
 }
 
@@ -105,6 +105,14 @@ void ThermalNetwork::settle() {
     }
     if (max_delta < 1e-9) break;
   }
+}
+
+void ThermalNetwork::reset() {
+  for (Node& node : nodes_) {
+    node.temperature = node.initial_temperature;
+    node.power = 0.0;
+  }
+  for (Edge& e : edges_) e.g = e.initial_g;
 }
 
 Kelvin ThermalNetwork::temperature(NodeId n) const {

@@ -49,6 +49,10 @@ class ThermalNetwork {
   /// the quasi-static path of long-duration experiments.
   void settle();
 
+  /// Restores every node temperature, boundary temperature, injected power and
+  /// edge conductance to its as-built value. Topology is untouched.
+  void reset();
+
   [[nodiscard]] util::Kelvin temperature(NodeId n) const;
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
@@ -58,10 +62,12 @@ class ThermalNetwork {
     double temperature;  // K
     double power = 0.0;  // W
     bool boundary = false;
+    double initial_temperature = 0.0;  // K, as built (for reset)
   };
   struct Edge {
     NodeId a, b;
     double g;
+    double initial_g;  // as built (for reset)
   };
 
   void check_node(NodeId n) const;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace aqua::util {
 
 namespace {
@@ -10,6 +12,15 @@ namespace {
 // nested submissions go to the submitter's own queue front.
 thread_local ThreadPool* tl_pool = nullptr;
 thread_local std::size_t tl_worker_index = 0;
+
+// Pool telemetry: tasks executed, successful steals, and the queue depth seen
+// by each enqueue (a linear histogram — depth is small and bounded by tasks
+// in flight). Scheduling is timing-dependent, so steal counts vary run to
+// run; only the simulation output is covered by the determinism contract.
+const obs::Counter kTasks{"util.thread_pool.tasks"};
+const obs::Counter kSteals{"util.thread_pool.steals"};
+const obs::Histogram kQueueDepth{"util.thread_pool.enqueue_queue_depth",
+                                 obs::HistogramSpec{0.0, 64.0, 64, false}};
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned thread_count) {
@@ -38,7 +49,7 @@ void ThreadPool::enqueue(Task task) {
   if (!accepting_.load())
     throw std::runtime_error("ThreadPool: submit after shutdown began");
   in_flight_.fetch_add(1);
-  queued_.fetch_add(1);
+  kQueueDepth.observe(static_cast<double>(queued_.fetch_add(1)));
   if (tl_pool == this) {
     // A worker submitting to its own pool: LIFO front for locality.
     Worker& own = *workers_[tl_worker_index];
@@ -75,6 +86,7 @@ bool ThreadPool::try_steal(std::size_t thief, Task& out) {
     out = std::move(victim.queue.back());
     victim.queue.pop_back();
     queued_.fetch_sub(1);
+    kSteals.add(1);
     return true;
   }
   return false;
@@ -87,6 +99,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     Task task;
     if (try_pop_local(index, task) || try_steal(index, task)) {
       task();  // packaged_task captures any exception into its future
+      kTasks.add(1);
       if (in_flight_.fetch_sub(1) == 1) {
         std::lock_guard lock{wake_mutex_};
         idle_cv_.notify_all();

@@ -74,6 +74,30 @@ TEST(Pid, ResetClampsToLimits) {
   EXPECT_DOUBLE_EQ(pid.output(), 1.0);
 }
 
+TEST(Pid, ResetBackCalculatesIntegratorAgainstError) {
+  // Regression: reset(output) used to preload the whole output into the
+  // integrator, so the first update() re-added kp·error on top and bumped the
+  // loop (into saturation here: 0.8 + 0.5·0.4 + ki·e·dt > 1).
+  PidController pid{{0.5, 1.0, 0.0}, {0.0, 1.0}, hertz(10.0)};
+  pid.reset(0.8, 0.4);
+  EXPECT_DOUBLE_EQ(pid.integrator(), 0.8 - 0.5 * 0.4);
+  EXPECT_DOUBLE_EQ(pid.output(), 0.8);
+  // update(e): kp·e + integral + ki·e·dt = 0.2 + 0.6 + 1.0·0.4·0.1 = 0.84.
+  EXPECT_NEAR(pid.update(0.4), 0.84, 1e-12);
+}
+
+TEST(Pid, ResetResumeDoesNotStepIntoSaturation) {
+  // A held output near the rail plus a nonzero standing error must resume
+  // with only the integral increment, not a proportional-sized jump that
+  // slams the output into the clamp.
+  PidController pid{{0.6, 30.0, 0.0}, {0.05, 1.0}, hertz(2000.0)};
+  const double held = 0.95, error = 0.08;
+  pid.reset(held, error);
+  const double resumed = pid.update(error);
+  EXPECT_LT(resumed, 1.0);  // old behaviour: 0.95 + 0.6·0.08 + ... → clamped
+  EXPECT_NEAR(resumed, held + 30.0 * error / 2000.0, 1e-12);
+}
+
 TEST(Pid, ClosedLoopFirstOrderPlantConverges) {
   // Plant: y' = (u − y)/tau discretised; PI must drive y → setpoint.
   PidController pid{{0.8, 4.0, 0.0}, {0.0, 10.0}, hertz(100.0)};

@@ -12,6 +12,7 @@
 
 #include "core/rig.hpp"
 #include "fleet/fleet.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace aqua::fleet {
@@ -138,6 +139,61 @@ TEST(FleetDeterminism, DifferentRootSeedsProduceDifferentTraces) {
     for (std::size_t k = 0; k < a[s].size() && !any_difference; ++k)
       any_difference = a[s][k].bridge_voltage != b[s][k].bridge_voltage;
   EXPECT_TRUE(any_difference);
+}
+
+TEST(FleetDeterminism, MetricsCollectionDoesNotPerturbTraces) {
+  // The obs/ layer's hard guarantee: instrumentation only observes, so the
+  // traces are bit-identical whether collection is on or off — and with it
+  // on, at any thread count (metrics are enabled by default, so the other
+  // determinism tests already run instrumented; this pins the off-path too).
+  obs::Registry::set_enabled(true);
+  const auto instrumented_serial = run_traces(0, 42);
+  const auto instrumented_pool = run_traces(8, 42);
+  obs::Registry::set_enabled(false);
+  const auto dark = run_traces(0, 42);
+  obs::Registry::set_enabled(true);
+  expect_bit_identical(instrumented_serial, dark, "metrics on vs off");
+  expect_bit_identical(instrumented_serial, instrumented_pool,
+                       "metrics on, serial vs 8 threads");
+}
+
+std::uint64_t scrape_counter(const std::string& name) {
+  const auto snap = obs::Registry::instance().snapshot();
+  for (const auto& c : snap.counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+TEST(FleetDeterminism, DatapathCountersMatchAcrossThreadCounts) {
+  // Counters driven by the simulation datapath (samples, epochs, PI events)
+  // are part of the deterministic surface: serial and pooled runs must count
+  // exactly the same events. (Thread-pool steal counts are scheduling noise
+  // and deliberately excluded.)
+  const char* const kDeterministicCounters[] = {
+      "fleet.epochs",
+      "fleet.sensor_steps",
+      "isif.channel.samples",
+      "isif.channel.overload_blocks",
+      "cta.pi.saturation_events",
+      "cta.pi.antiwindup_holds",
+      "cta.loop.adc_overload_ticks",
+  };
+
+  obs::Registry::instance().zero();
+  (void)run_traces(0, 42);
+  std::vector<std::uint64_t> serial_counts;
+  for (const char* name : kDeterministicCounters)
+    serial_counts.push_back(scrape_counter(name));
+
+  obs::Registry::instance().zero();
+  (void)run_traces(4, 42);
+  for (std::size_t i = 0; i < serial_counts.size(); ++i)
+    EXPECT_EQ(scrape_counter(kDeterministicCounters[i]), serial_counts[i])
+        << kDeterministicCounters[i];
+
+  // The run must actually have produced samples, or this test is vacuous.
+  EXPECT_GT(serial_counts[0], 0u);  // fleet.epochs
+  EXPECT_GT(serial_counts[2], 0u);  // isif.channel.samples
 }
 
 TEST(FleetDeterminism, PerSensorStreamsDiffer) {

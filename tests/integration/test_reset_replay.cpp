@@ -1,0 +1,213 @@
+// The reset contract, tested as a property: reset() returns an object to its
+// post-construction state — one-time part draws persist, noise/dither RNG
+// streams rewind — so replaying the SAME stimulus after reset() produces
+// bit-identical output. This pins every reset() in the chain (channel → CTA
+// loop → fleet node) against the partially-reset-state class of bug fixed in
+// this change (amp state surviving InputChannel::reset, the PI reset folding
+// kp·e into the integrator).
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cta.hpp"
+#include "core/rig.hpp"
+#include "fleet/sensor_node.hpp"
+#include "isif/channel.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace aqua {
+namespace {
+
+using util::celsius;
+using util::Rng;
+using util::Seconds;
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// ---------------------------------------------------------------------------
+// InputChannel: drive a deterministic sine at the modulator clock, collect
+// the decimated samples, reset, replay. Codes, values and overload flags must
+// match bit for bit — this fails if any of amp/LPF/ADC/CIC state (or the
+// dither stream) survives the reset.
+// ---------------------------------------------------------------------------
+
+std::vector<isif::ChannelSample> run_channel(isif::InputChannel& channel,
+                                             int ticks) {
+  std::vector<isif::ChannelSample> samples;
+  const double dt = channel.tick_period().value();
+  for (int i = 0; i < ticks; ++i) {
+    const double vin = 5e-3 * std::sin(2.0 * M_PI * 400.0 * i * dt);
+    if (auto s = channel.tick(util::volts(vin))) samples.push_back(*s);
+  }
+  return samples;
+}
+
+void expect_samples_bit_identical(
+    const std::vector<isif::ChannelSample>& a,
+    const std::vector<isif::ChannelSample>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    ASSERT_EQ(a[k].code, b[k].code) << "sample " << k;
+    ASSERT_EQ(bits(a[k].value), bits(b[k].value)) << "sample " << k;
+    ASSERT_EQ(a[k].overload, b[k].overload) << "sample " << k;
+  }
+}
+
+TEST(ResetReplay, InputChannelReplaysBitIdentically) {
+  isif::InputChannel channel{isif::ChannelConfig{}, Rng{99}};
+  const auto first = run_channel(channel, 8192);
+  ASSERT_FALSE(first.empty());
+  channel.reset();
+  const auto replay = run_channel(channel, 8192);
+  expect_samples_bit_identical(first, replay);
+}
+
+TEST(ResetReplay, InputChannelResetClearsAmplifierState) {
+  // Regression for the original bug: reset() skipped amp_.reset(), so the
+  // amplifier's noise streams and pole memory carried over and the replay
+  // diverged. Saturate the amp first to make surviving state maximally loud.
+  isif::ChannelConfig cfg;
+  isif::InputChannel channel{cfg, Rng{7}};
+  const auto first = run_channel(channel, 4096);
+  // Slam the input to park internal state far from post-construction.
+  for (int i = 0; i < 2048; ++i)
+    (void)channel.tick(util::volts(cfg.amp.rail.value()));
+  channel.reset();
+  const auto replay = run_channel(channel, 4096);
+  expect_samples_bit_identical(first, replay);
+}
+
+// ---------------------------------------------------------------------------
+// CtaAnemometer: run the whole loop under a fixed environment, record the
+// King's-law observables at every control tick, reset, rerun.
+// ---------------------------------------------------------------------------
+
+struct LoopSample {
+  double bridge;
+  double filtered;
+  double direction;
+};
+
+std::vector<LoopSample> run_loop(cta::CtaAnemometer& anemo, Seconds duration,
+                                 const maf::Environment& env) {
+  std::vector<LoopSample> out;
+  const double dt = anemo.tick_period().value();
+  const auto ticks = static_cast<long long>(duration.value() / dt);
+  for (long long i = 0; i < ticks; ++i) {
+    anemo.tick(env);
+    out.push_back({anemo.bridge_voltage(), anemo.filtered_voltage(),
+                   anemo.direction_signal()});
+  }
+  return out;
+}
+
+void expect_loop_bit_identical(const std::vector<LoopSample>& a,
+                               const std::vector<LoopSample>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    ASSERT_EQ(bits(a[k].bridge), bits(b[k].bridge)) << "tick " << k;
+    ASSERT_EQ(bits(a[k].filtered), bits(b[k].filtered)) << "tick " << k;
+    ASSERT_EQ(bits(a[k].direction), bits(b[k].direction)) << "tick " << k;
+  }
+}
+
+maf::Environment water(double v_mps) {
+  maf::Environment env;
+  env.speed = util::metres_per_second(v_mps);
+  env.fluid_temperature = celsius(15.0);
+  env.pressure = util::bar(2.0);
+  return env;
+}
+
+TEST(ResetReplay, CtaLoopReplaysBitIdentically) {
+  cta::CtaAnemometer anemo{maf::MafSpec{}, cta::coarse_isif_config(),
+                           cta::CtaConfig{}, Rng{20260805}};
+  const auto env = water(0.8);
+  const auto first = run_loop(anemo, Seconds{0.5}, env);
+  ASSERT_FALSE(first.empty());
+  anemo.reset();
+  const auto replay = run_loop(anemo, Seconds{0.5}, env);
+  expect_loop_bit_identical(first, replay);
+}
+
+TEST(ResetReplay, CtaLoopReplaysAfterCommissioningAndFlowHistory) {
+  // A harsher variant: commission (which nulls the direction offset and
+  // settles the loop), then run at high flow — the reset must wipe the
+  // commissioning null and all loop history, not just the filters.
+  cta::CtaAnemometer anemo{maf::MafSpec{}, cta::coarse_isif_config(),
+                           cta::CtaConfig{}, Rng{11}};
+  const auto first = run_loop(anemo, Seconds{0.4}, water(0.3));
+  anemo.commission(water(0.0), Seconds{0.3});
+  anemo.run(Seconds{0.4}, water(2.2));
+  anemo.reset();
+  const auto replay = run_loop(anemo, Seconds{0.4}, water(0.3));
+  expect_loop_bit_identical(first, replay);
+}
+
+// ---------------------------------------------------------------------------
+// SensorNode: the fleet-level unit. Advance a few co-simulation epochs under
+// a fixed PipeState, reset, re-advance: the trace must replay bit-exactly.
+// The installed fit is configuration and must survive the reset.
+// ---------------------------------------------------------------------------
+
+fleet::SensorNodeConfig node_config() {
+  fleet::SensorNodeConfig cfg;
+  cfg.isif = cta::coarse_isif_config();
+  cfg.cta.output_cutoff = util::hertz(2.0);
+  return cfg;
+}
+
+std::vector<fleet::TraceSample> advance_node(fleet::SensorNode& node,
+                                             int epochs) {
+  fleet::PipeState state;
+  state.mean_velocity_mps = 0.9;
+  state.point_velocity_mps = 1.1;
+  for (int i = 0; i < epochs; ++i) node.advance(state, Seconds{0.1});
+  return node.trace();
+}
+
+TEST(ResetReplay, SensorNodeReplaysBitIdenticallyAndKeepsFit) {
+  fleet::SensorNode node{3, fleet::SensorPlacement{}, node_config(),
+                         util::millimetres(150.0), Rng::stream(42, 3)};
+  node.set_fit(cta::KingFit{0.9, 1.1, 0.5}, celsius(15.0));
+  const auto first = advance_node(node, 5);
+  ASSERT_EQ(first.size(), 5u);
+  node.reset();
+  EXPECT_TRUE(node.calibrated());  // the fit is configuration, not state
+  EXPECT_TRUE(node.trace().empty());
+  const auto replay = advance_node(node, 5);
+  ASSERT_EQ(replay.size(), first.size());
+  for (std::size_t k = 0; k < first.size(); ++k) {
+    ASSERT_EQ(bits(first[k].t_s), bits(replay[k].t_s)) << "epoch " << k;
+    ASSERT_EQ(bits(first[k].bridge_voltage), bits(replay[k].bridge_voltage))
+        << "epoch " << k;
+    ASSERT_EQ(bits(first[k].filtered_voltage), bits(replay[k].filtered_voltage))
+        << "epoch " << k;
+    ASSERT_EQ(bits(first[k].estimate_mps), bits(replay[k].estimate_mps))
+        << "epoch " << k;
+    ASSERT_EQ(first[k].direction, replay[k].direction) << "epoch " << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// And the obs guarantee at the unit level: turning metrics collection on or
+// off must not change a single bit of the datapath.
+// ---------------------------------------------------------------------------
+
+TEST(ResetReplay, MetricsOnOffDoesNotChangeChannelOutput) {
+  isif::InputChannel channel{isif::ChannelConfig{}, Rng{5}};
+  obs::Registry::set_enabled(true);
+  const auto instrumented = run_channel(channel, 4096);
+  channel.reset();
+  obs::Registry::set_enabled(false);
+  const auto dark = run_channel(channel, 4096);
+  obs::Registry::set_enabled(true);
+  expect_samples_bit_identical(instrumented, dark);
+}
+
+}  // namespace
+}  // namespace aqua

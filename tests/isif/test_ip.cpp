@@ -114,6 +114,39 @@ TEST(PiIp, ResetPreloads) {
   EXPECT_NEAR(ip.update(0.0), 0.4, 1e-6);
 }
 
+TEST(PiIp, FixedPathResetBackCalculatesInQ23) {
+  // Regression: the Q23 reset used to fold the proportional term into the
+  // integrator, so resuming under a standing error bumped the output by
+  // kp·error. Back-calculated, the resume step adds only ki·e·dt.
+  const dsp::PidGains gains{0.6, 30.0, 0.0};
+  const dsp::PidLimits limits{0.0, 1.0};
+  PiIp ip{gains, limits, hertz(2000.0), IpImpl::kHardwareFixed};
+  const double held = 0.9, error = 0.08;
+  ip.reset(held, error);
+  EXPECT_DOUBLE_EQ(ip.output(), held);
+  const double resumed = ip.update(error);
+  // Q23 quantisation of gains and error allows ~1e-6 slack.
+  EXPECT_NEAR(resumed, held + 30.0 * error / 2000.0, 1e-5);
+  EXPECT_LT(resumed, 1.0);  // the old behaviour landed on the rail
+}
+
+TEST(PiIp, HardwareAndBitExactSoftwareMatchThroughReset) {
+  const dsp::PidGains gains{0.5, 20.0, 0.0};
+  const dsp::PidLimits limits{0.0, 1.0};
+  PiIp hw{gains, limits, hertz(2000.0), IpImpl::kHardwareFixed};
+  PiIp sw{gains, limits, hertz(2000.0), IpImpl::kSoftwareFixed};
+  for (int i = 0; i < 200; ++i) {
+    const double e = 0.1 * std::sin(0.05 * i);
+    ASSERT_DOUBLE_EQ(hw.update(e), sw.update(e)) << "sample " << i;
+  }
+  hw.reset(0.42, 0.03);
+  sw.reset(0.42, 0.03);
+  for (int i = 0; i < 200; ++i) {
+    const double e = 0.1 * std::sin(0.05 * i) + 0.02;
+    ASSERT_DOUBLE_EQ(hw.update(e), sw.update(e)) << "post-reset sample " << i;
+  }
+}
+
 TEST(PiIp, CycleCosts) {
   const CycleCosts costs{};
   PiIp hw{{1, 1, 0}, {}, hertz(100.0), IpImpl::kHardwareFixed};
