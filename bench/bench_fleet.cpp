@@ -4,6 +4,7 @@
 // wall second for each mode plus a bitwise trace checksum per run — identical
 // checksums across all modes are the determinism proof (same root seed ⇒
 // bit-identical traces at any thread count).
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstdint>
@@ -14,8 +15,13 @@
 #include <thread>
 #include <vector>
 
+#include "analog/amplifier.hpp"
+#include "analog/sigma_delta.hpp"
 #include "common.hpp"
+#include "dsp/cic.hpp"
 #include "fleet/fleet.hpp"
+#include "isif/channel.hpp"
+#include "maf/die.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -62,6 +68,105 @@ struct RunResult {
   std::size_t sensors = 0;
 };
 
+// --- per-stage micro throughput -------------------------------------------
+// Samples/s through each hot-path stage, measured standalone so the JSON
+// artifact records where the end-to-end fleet number comes from. The
+// channel_block / channel_scalar pair is the PR-level contract the CI
+// regression gate (ci/bench_compare.py) checks.
+struct StageRates {
+  double amp_scalar = 0.0;
+  double amp_block = 0.0;
+  double sigma_delta_block = 0.0;
+  double cic_block = 0.0;
+  double channel_scalar = 0.0;
+  double channel_block = 0.0;
+  double thermal_step = 0.0;
+};
+
+// Repeats `body(batch)` until ~0.2 s has elapsed; returns samples/second.
+template <typename Body>
+double rate_per_second(long samples_per_batch, Body&& body) {
+  using clock = std::chrono::steady_clock;
+  long total = 0;
+  const auto t0 = clock::now();
+  auto t1 = t0;
+  do {
+    body();
+    total += samples_per_batch;
+    t1 = clock::now();
+  } while (std::chrono::duration<double>(t1 - t0).count() < 0.2);
+  return total / std::chrono::duration<double>(t1 - t0).count();
+}
+
+StageRates measure_stages() {
+  constexpr int kFrame = 128;
+  StageRates s;
+
+  {
+    analog::InstrumentAmp amp{analog::InstrumentAmpSpec{}, util::hertz(256e3),
+                              util::Rng{7}};
+    const util::Seconds dt{1.0 / 256e3};
+    double sink = 0.0;
+    s.amp_scalar = rate_per_second(kFrame, [&] {
+      for (int i = 0; i < kFrame; ++i)
+        sink += amp.step(util::volts(1e-3), dt);
+    });
+    std::vector<double> in(kFrame, 1e-3), out(kFrame);
+    s.amp_block = rate_per_second(
+        kFrame, [&] { amp.process_block(in, out, dt); });
+    if (sink == 42.0) std::printf(" ");  // keep the scalar loop live
+  }
+  {
+    analog::SigmaDeltaModulator sd{analog::SigmaDeltaSpec{}, util::Rng{8}};
+    std::vector<double> in(kFrame, 0.2), bits(kFrame);
+    s.sigma_delta_block =
+        rate_per_second(kFrame, [&] { (void)sd.process_block(in, bits); });
+  }
+  {
+    dsp::CicDecimator cic{3, kFrame};
+    std::vector<double> in(kFrame, 1.0), out(4);
+    for (int i = 0; i < kFrame; ++i) in[static_cast<std::size_t>(i)] =
+        (i % 3 == 0) ? 1.0 : -1.0;
+    s.cic_block =
+        rate_per_second(kFrame, [&] { (void)cic.push_block(in, out); });
+  }
+  {
+    // The gated pair: alternate short scalar/block windows and keep the best
+    // of each, so a slow CPU-clock wander on a busy runner hits both paths
+    // alike instead of skewing whichever ran second.
+    isif::InputChannel ch{isif::ChannelConfig{}, util::Rng{2}};
+    isif::InputChannel chf{isif::ChannelConfig{}, util::Rng{2}};
+    std::vector<double> frame(kFrame, 1e-3);
+    double sink = 0.0;
+    for (int pass = 0; pass < 3; ++pass) {
+      s.channel_scalar = std::max(
+          s.channel_scalar, rate_per_second(kFrame, [&] {
+            for (int i = 0; i < kFrame; ++i)
+              if (auto r = ch.tick(util::volts(1e-3))) sink += r->value;
+          }));
+      s.channel_block = std::max(
+          s.channel_block, rate_per_second(kFrame, [&] {
+            sink += chf.process_frame(frame).value;
+          }));
+    }
+    if (sink == 42.0) std::printf(" ");
+  }
+  {
+    maf::MafDie die{maf::MafSpec{}};
+    maf::Environment env;
+    env.speed = util::metres_per_second(0.8);
+    die.set_heater_powers(util::milliwatts(5.0), util::milliwatts(5.0),
+                          util::milliwatts(1.0));
+    double sink = 0.0;
+    s.thermal_step = rate_per_second(64, [&] {
+      for (int i = 0; i < 64; ++i) die.step(util::Seconds{4e-6}, env);
+      sink += die.heater_a_resistance().value();
+    });
+    if (sink == 42.0) std::printf(" ");
+  }
+  return s;
+}
+
 // threads == 0: serial on the caller's thread (no pool constructed).
 RunResult run_mode(unsigned threads, double sim_seconds) {
   District d = make_district();
@@ -100,7 +205,7 @@ RunResult run_mode(unsigned threads, double sim_seconds) {
 /// the merged metrics snapshot — epoch/step latency histograms, channel
 /// overload and PI saturation counters accumulated over every mode.
 void write_json_report(const std::vector<std::pair<std::string, RunResult>>& modes,
-                       bool deterministic) {
+                       const StageRates& stages, bool deterministic) {
   const char* env_path = std::getenv("AQUA_BENCH_JSON");
   const std::string path = env_path != nullptr ? env_path : "BENCH_fleet.json";
 
@@ -122,6 +227,30 @@ void write_json_report(const std::vector<std::pair<std::string, RunResult>>& mod
     out += buf;
   }
   out += "  ],\n";
+  {
+    // Per-stage micro throughput (samples/s): where the end-to-end number
+    // comes from, and the input to the CI regression gate.
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "  \"stages\": {\n"
+        "    \"amp_scalar_sps\": %.0f,\n"
+        "    \"amp_block_sps\": %.0f,\n"
+        "    \"sigma_delta_block_sps\": %.0f,\n"
+        "    \"cic_block_sps\": %.0f,\n"
+        "    \"channel_scalar_sps\": %.0f,\n"
+        "    \"channel_block_sps\": %.0f,\n"
+        "    \"channel_block_over_scalar\": %.3f,\n"
+        "    \"thermal_step_sps\": %.0f\n"
+        "  },\n",
+        stages.amp_scalar, stages.amp_block, stages.sigma_delta_block,
+        stages.cic_block, stages.channel_scalar, stages.channel_block,
+        stages.channel_scalar > 0.0
+            ? stages.channel_block / stages.channel_scalar
+            : 0.0,
+        stages.thermal_step);
+    out += buf;
+  }
   // Re-indent the snapshot under the "metrics" key (it renders from column 0).
   std::string metrics = obs::to_json(obs::Registry::instance().snapshot());
   std::string indented;
@@ -176,7 +305,22 @@ int main() {
   std::printf("\ndeterminism: %s — every mode reproduced the serial traces "
               "bit-for-bit\n",
               deterministic ? "PASS" : "FAIL");
-  write_json_report(results, deterministic);
+
+  std::printf("\nper-stage micro throughput (samples/s):\n");
+  const StageRates stages = measure_stages();
+  std::printf("  %-22s %12.3e\n", "amp scalar", stages.amp_scalar);
+  std::printf("  %-22s %12.3e\n", "amp block", stages.amp_block);
+  std::printf("  %-22s %12.3e\n", "sigma-delta block", stages.sigma_delta_block);
+  std::printf("  %-22s %12.3e\n", "cic block", stages.cic_block);
+  std::printf("  %-22s %12.3e\n", "channel scalar ticks", stages.channel_scalar);
+  std::printf("  %-22s %12.3e  (%.2fx scalar)\n", "channel block frames",
+              stages.channel_block,
+              stages.channel_scalar > 0.0
+                  ? stages.channel_block / stages.channel_scalar
+                  : 0.0);
+  std::printf("  %-22s %12.3e\n", "thermal die step", stages.thermal_step);
+
+  write_json_report(results, stages, deterministic);
   if (hw <= 1)
     std::printf("note: single hardware thread — parallel modes time-slice "
                 "one core, so no wall-clock speedup is expected here.\n");

@@ -3,6 +3,10 @@
 // simulated seconds at the modulator clock) complete in minutes.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <vector>
+
+#include "analog/amplifier.hpp"
 #include "analog/sigma_delta.hpp"
 #include "core/cta.hpp"
 #include "core/rig.hpp"
@@ -78,6 +82,105 @@ void BM_ChannelTick(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChannelTick);
+
+// --- per-stage block vs scalar (DESIGN.md §9) -------------------------------
+// Each pair measures the same work through the per-tick path and through the
+// block path; items_per_second is modulator samples per second either way, so
+// the ratio is the block speedup the CI gate in ci/bench_compare.py tracks.
+
+constexpr int kBlock = 128;  // one default decimation frame
+
+void BM_AmpStep(benchmark::State& state) {
+  analog::InstrumentAmp amp{{}, util::hertz(256e3), util::Rng{11}};
+  const util::Seconds dt{1.0 / 256e3};
+  double x = 1e-3;
+  for (auto _ : state) {
+    x = -x;
+    benchmark::DoNotOptimize(amp.step(util::Volts{x}, dt));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AmpStep);
+
+void BM_AmpBlock(benchmark::State& state) {
+  analog::InstrumentAmp amp{{}, util::hertz(256e3), util::Rng{11}};
+  const util::Seconds dt{1.0 / 256e3};
+  std::array<double, kBlock> in{}, out{};
+  for (int i = 0; i < kBlock; ++i) in[static_cast<std::size_t>(i)] =
+      (i % 2 == 0) ? 1e-3 : -1e-3;
+  for (auto _ : state) {
+    amp.process_block(in, out, dt);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * kBlock);
+}
+BENCHMARK(BM_AmpBlock);
+
+void BM_SigmaDeltaBlock(benchmark::State& state) {
+  analog::SigmaDeltaModulator sd{{}, util::Rng{1}};
+  std::array<double, kBlock> in{}, bits{};
+  for (int i = 0; i < kBlock; ++i) in[static_cast<std::size_t>(i)] =
+      (i % 2 == 0) ? 0.1 : -0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sd.process_block(in, bits));
+  }
+  state.SetItemsProcessed(state.iterations() * kBlock);
+}
+BENCHMARK(BM_SigmaDeltaBlock);
+
+void BM_CicPushBlock(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  dsp::CicDecimator cic{3, r};
+  std::vector<double> in(static_cast<std::size_t>(r));
+  for (int i = 0; i < r; ++i) in[static_cast<std::size_t>(i)] =
+      (i % 2 == 0) ? 1.0 : -1.0;
+  double out = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cic.push_block(in, std::span<double>{&out, 1}));
+  }
+  state.SetItemsProcessed(state.iterations() * r);
+}
+BENCHMARK(BM_CicPushBlock)->Arg(32)->Arg(128);
+
+void BM_ChannelFrame(benchmark::State& state) {
+  isif::InputChannel ch{isif::ChannelConfig{}, util::Rng{2}};
+  const int frame = ch.config().decimation;
+  std::vector<double> in(static_cast<std::size_t>(frame), 3e-3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.process_frame(in));
+  }
+  state.SetItemsProcessed(state.iterations() * frame);
+}
+BENCHMARK(BM_ChannelFrame);
+
+void BM_ThermalNetworkStep(benchmark::State& state) {
+  maf::MafDie die{maf::MafSpec{}};
+  maf::Environment env;
+  env.speed = util::metres_per_second(1.0);
+  die.set_heater_powers(util::milliwatts(5.0), util::milliwatts(5.0),
+                        util::milliwatts(1.0));
+  for (auto _ : state) {
+    die.step(util::Seconds{4e-6}, env);
+    benchmark::DoNotOptimize(die.heater_a_resistance());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThermalNetworkStep);
+
+void BM_FullAnemometerFrame(benchmark::State& state) {
+  util::Rng rng{3};
+  cta::CtaAnemometer anemo{maf::MafSpec{}, cta::fast_isif_config(),
+                           cta::CtaConfig{}, rng};
+  maf::Environment env;
+  env.speed = util::metres_per_second(1.0);
+  const int frame = anemo.platform().config().channel.decimation;
+  for (auto _ : state) {
+    anemo.tick_frame(env);
+    benchmark::DoNotOptimize(anemo.bridge_voltage());
+  }
+  state.SetItemsProcessed(state.iterations() * frame);
+}
+BENCHMARK(BM_FullAnemometerFrame);
 
 void BM_MafDieStep(benchmark::State& state) {
   maf::MafDie die{maf::MafSpec{}};

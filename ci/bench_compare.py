@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Gate the channel hot-path throughput against the committed baseline.
+
+Reads the per-stage section bench_fleet writes into BENCH_fleet.json and
+compares it with ci/bench_baseline.json (committed alongside the code, the
+same machinery as ci/tier1_baseline_seconds.txt). The job fails when the
+block-path channel throughput regresses more than the allowed fraction, or
+when the block path loses its edge over the scalar reference path entirely.
+
+CI runners differ from the machine that recorded the baseline, so two checks
+with different characters are applied:
+
+* channel_block_sps vs baseline           — absolute samples/s, 20 % slack.
+  Catches "someone deoptimised the fused loop" on comparable hardware.
+* channel_block_over_scalar ratio >= 1.0  — machine-independent. The block
+  path running SLOWER than per-tick scalar calls in the same binary is a
+  structural regression no amount of runner variance explains.
+
+Other stage rates are reported but only warn: they feed the artifact for
+trend-watching, not the gate.
+
+Usage: ci/bench_compare.py BENCH_fleet.json ci/bench_baseline.json
+"""
+
+import json
+import sys
+
+REGRESSION_SLACK = 0.20  # fail below 80 % of the baseline throughput
+GATED_KEY = "channel_block_sps"
+RATIO_KEY = "channel_block_over_scalar"
+WARN_KEYS = [
+    "amp_scalar_sps",
+    "amp_block_sps",
+    "sigma_delta_block_sps",
+    "cic_block_sps",
+    "channel_scalar_sps",
+    "thermal_step_sps",
+]
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        measured = json.load(f).get("stages", {})
+    with open(argv[2]) as f:
+        baseline = json.load(f).get("stages", {})
+
+    if GATED_KEY not in measured:
+        print(f"::error::{argv[1]} has no stages.{GATED_KEY} — "
+              "bench_fleet did not write its per-stage section")
+        return 1
+
+    failed = False
+
+    got = measured[GATED_KEY]
+    want = baseline.get(GATED_KEY, 0.0)
+    floor = want * (1.0 - REGRESSION_SLACK)
+    print(f"{GATED_KEY}: measured {got:.3e}, baseline {want:.3e}, "
+          f"floor {floor:.3e} ({100 * (1 - REGRESSION_SLACK):.0f} %)")
+    if got < floor:
+        print(f"::error::channel block throughput regressed "
+              f">{100 * REGRESSION_SLACK:.0f} % vs the committed baseline "
+              f"({got:.3e} < {floor:.3e} samples/s) — update "
+              f"{argv[2]} only with an explanation")
+        failed = True
+
+    ratio = measured.get(RATIO_KEY, 0.0)
+    print(f"{RATIO_KEY}: {ratio:.2f} (must stay >= 1.0)")
+    if ratio < 1.0:
+        print("::error::the fused block path is slower than the scalar "
+              "reference path in the same binary — structural regression")
+        failed = True
+
+    for key in WARN_KEYS:
+        got = measured.get(key)
+        want = baseline.get(key)
+        if got is None or want is None or want <= 0.0:
+            continue
+        if got < want * (1.0 - REGRESSION_SLACK):
+            print(f"::warning::{key} below baseline: "
+                  f"{got:.3e} vs {want:.3e} (informational)")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,6 +21,27 @@ double RcLowpass::step(double input, Seconds dt) {
   return x;
 }
 
+void RcLowpass::process_block(std::span<double> inout, Seconds dt) {
+  for (auto& s : stages_) {
+    const double a = s.decay(dt);
+    for (double& x : inout) x = s.step_with_decay(x, a);
+  }
+}
+
+RcLowpass::BlockKernel RcLowpass::begin_block(Seconds dt) const {
+  BlockKernel k;
+  k.poles = static_cast<int>(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    k.a[i] = stages_[i].decay(dt);
+    k.y[i] = stages_[i].value();
+  }
+  return k;
+}
+
+void RcLowpass::commit_block(const BlockKernel& k) {
+  for (std::size_t i = 0; i < stages_.size(); ++i) stages_[i].reset(k.y[i]);
+}
+
 void RcLowpass::reset(double value) {
   for (auto& s : stages_) s.reset(value);
 }

@@ -4,6 +4,8 @@
 // exact for piecewise-constant inputs at any dt.
 #pragma once
 
+#include <array>
+#include <span>
 #include <vector>
 
 #include "sim/integrator.hpp"
@@ -17,6 +19,31 @@ class RcLowpass {
   RcLowpass(util::Hertz fc, int poles = 1);
 
   double step(double input, util::Seconds dt);
+
+  /// Filters the block in place, one sample per tick of `dt`. Stage-major:
+  /// each pole sweeps the whole block with its decay factor hoisted out of
+  /// the loop. Per sample each stage applies the identical FP update as
+  /// step(), so the result is bit-identical to per-sample stepping.
+  void process_block(std::span<double> inout, util::Seconds dt);
+
+  /// Register-resident per-block state for fused frame kernels (DESIGN.md
+  /// §9). step() applies the identical FP update as the scalar step() for
+  /// every pole; the constructor caps poles at 4, so fixed arrays suffice.
+  struct BlockKernel {
+    std::array<double, 4> a{}, y{};
+    int poles = 0;
+    double step(double x) {
+      for (int i = 0; i < poles; ++i) {
+        const std::size_t s = static_cast<std::size_t>(i);
+        y[s] = (a[s] <= 0.0) ? x : x + (y[s] - x) * a[s];
+        x = y[s];
+      }
+      return x;
+    }
+  };
+  [[nodiscard]] BlockKernel begin_block(util::Seconds dt) const;
+  void commit_block(const BlockKernel& k);
+
   void reset(double value = 0.0);
   [[nodiscard]] double value() const;
   [[nodiscard]] util::Hertz cutoff() const { return fc_; }

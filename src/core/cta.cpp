@@ -82,6 +82,11 @@ CtaAnemometer::CtaAnemometer(const maf::MafSpec& maf_spec,
   isif_.dac(0).request_code(static_cast<int>(
       std::lround(u_ * isif_.dac(0).dac().max_code())));
 
+  const auto frame =
+      static_cast<std::size_t>(isif_config.channel.decimation);
+  frame_diff_a_.assign(frame, 0.0);
+  frame_diff_b_.assign(frame, 0.0);
+
   // Firmware tasks, costed against the LEON budget (paper §3).
   const isif::CycleCosts costs{};
   isif_.firmware().add_task("cta_pi", 1, pi_.cycles_per_sample(),
@@ -120,6 +125,7 @@ Hertz CtaAnemometer::control_rate() const {
 void CtaAnemometer::tick(const maf::Environment& env) {
   const Seconds dt = tick_period();
   t_ += dt;
+  if (++tick_phase_ >= isif_.config().channel.decimation) tick_phase_ = 0;
 
   package_.step(dt, env.pressure);
   const Volts supply = isif_.dac(0).update(dt);
@@ -150,6 +156,54 @@ void CtaAnemometer::tick(const maf::Environment& env) {
     if (adc_overload_) kAdcOverloadTicks.add(1);
     isif_.firmware().tick();
   }
+}
+
+void CtaAnemometer::tick_frame(const maf::Environment& env) {
+  if (tick_phase_ != 0)
+    throw std::logic_error(
+        "CtaAnemometer: tick_frame needs a frame-aligned loop "
+        "(tick_phase() == 0); advance with tick() to the boundary first");
+  const Seconds dt = tick_period();
+  const int frame = isif_.config().channel.decimation;
+  auto& dac = isif_.dac(0);
+
+  // Per-tick physics, exactly as tick() runs it; the channel inputs are
+  // staged instead of pushed through the signal chain one at a time. Nothing
+  // in this loop reads channel or firmware state, and the firmware only acts
+  // at the frame boundary — which is why deferring the chain to one block per
+  // channel reproduces the scalar interleaving bit-for-bit (DESIGN.md §9).
+  for (int i = 0; i < frame; ++i) {
+    t_ += dt;
+    package_.step(dt, env.pressure);
+    const Volts supply = dac.update(dt);
+
+    const analog::BridgeArms arms_a{top_a_, die_.heater_a_resistance(),
+                                    config_.top_resistor_b,
+                                    die_.reference_resistance()};
+    const analog::BridgeArms arms_b{top_a_, die_.heater_b_resistance(),
+                                    config_.top_resistor_b,
+                                    die_.reference_resistance()};
+    const auto sol_a = analog::solve_bridge(arms_a, supply);
+    const auto sol_b = analog::solve_bridge(arms_b, supply);
+
+    die_.set_heater_powers(sol_a.p_bot_a, sol_b.p_bot_a,
+                           sol_a.p_bot_b + sol_b.p_bot_b);
+    die_.step(dt, env);
+
+    frame_diff_a_[static_cast<std::size_t>(i)] = sol_a.differential.value();
+    frame_diff_b_[static_cast<std::size_t>(i)] = sol_b.differential.value();
+  }
+
+  const isif::ChannelSample sample_a =
+      isif_.channel(0).process_frame(frame_diff_a_, env.fluid_temperature);
+  const isif::ChannelSample sample_b =
+      isif_.channel(1).process_frame(frame_diff_b_, env.fluid_temperature);
+  pending_dir_code_ = sample_b.value;
+  const double max_code = 32767.0;  // 16-bit channel word
+  pending_error_code_ = static_cast<double>(sample_a.code) / max_code;
+  adc_overload_ = sample_a.overload;
+  if (adc_overload_) kAdcOverloadTicks.add(1);
+  isif_.firmware().tick();
 }
 
 void CtaAnemometer::control_update() {
@@ -187,7 +241,17 @@ void CtaAnemometer::control_update() {
 void CtaAnemometer::run(Seconds duration, const maf::Environment& env) {
   const long long n =
       static_cast<long long>(std::ceil(duration.value() / tick_period().value()));
-  for (long long i = 0; i < n; ++i) tick(env);
+  const long long frame = isif_.config().channel.decimation;
+  long long i = 0;
+  // Scalar ticks up to the next frame boundary, whole frames through the
+  // block path, scalar again for the sub-frame tail. Bit-identical to a pure
+  // tick() loop at every step.
+  while (i < n && tick_phase_ != 0) {
+    tick(env);
+    ++i;
+  }
+  for (; i + frame <= n; i += frame) tick_frame(env);
+  for (; i < n; ++i) tick(env);
 }
 
 void CtaAnemometer::commission(const maf::Environment& zero_flow_env,
@@ -216,6 +280,7 @@ void CtaAnemometer::reset() {
   direction_lp_.reset(0.0);
   t_ = Seconds{0.0};
   control_ticks_ = 0;
+  tick_phase_ = 0;
   pending_error_code_ = 0.0;
   pending_dir_code_ = 0.0;
   adc_overload_ = false;

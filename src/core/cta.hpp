@@ -14,6 +14,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "dsp/biquad.hpp"
 #include "isif/ip.hpp"
@@ -94,7 +95,23 @@ class CtaAnemometer {
   /// One modulator-clock tick under the given environment.
   void tick(const maf::Environment& env);
 
-  /// Runs the loop for `duration` under a constant environment.
+  /// Block execution: advances one full decimation frame (`decimation`
+  /// modulator ticks) under a constant environment. The per-tick physics
+  /// (DAC settling, bridge solve, die thermal step) runs exactly as in
+  /// tick(), staging the bridge differentials into per-loop scratch buffers;
+  /// both channels then process the frame in one block each, and the
+  /// firmware runs at the frame boundary — where the scalar path runs it
+  /// too. Bit-identical to `decimation` tick() calls. Requires frame
+  /// alignment (tick_phase() == 0); throws std::logic_error otherwise.
+  void tick_frame(const maf::Environment& env);
+
+  /// Modulator ticks since the last frame boundary (0 = aligned).
+  [[nodiscard]] int tick_phase() const { return tick_phase_; }
+
+  /// Runs the loop for `duration` under a constant environment. Internally
+  /// advances frame-by-frame (tick_frame) whenever aligned, falling back to
+  /// scalar ticks for the unaligned head/tail — output is bit-identical to a
+  /// pure tick() loop either way.
   void run(util::Seconds duration, const maf::Environment& env);
 
   /// Commissions the sensor at zero flow: settles the loop and nulls the
@@ -154,6 +171,12 @@ class CtaAnemometer {
   util::Ohms top_a_;
   util::Seconds t_{0.0};
   long long control_ticks_ = 0;
+  int tick_phase_ = 0;  // modulator ticks since the last frame boundary
+
+  // Frame-path scratch: per-tick bridge differentials of one decimation
+  // frame, reused across frames (sized once at construction).
+  std::vector<double> frame_diff_a_;
+  std::vector<double> frame_diff_b_;
 
   // Latest decimated samples feeding the firmware tasks.
   double pending_error_code_ = 0.0;   // normalised bridge-A sample

@@ -12,23 +12,75 @@
 // magnitude fits the word, which the constructor checks.
 #pragma once
 
+#include <array>
+#include <cmath>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace aqua::dsp {
 
 class CicDecimator {
  public:
-  /// order N (typically modulator order + 1), decimation ratio R, differential
-  /// delay M (1 or 2). The product (R·M)^N must stay below 2^31 so the
-  /// integer datapath (input quantised to Q31) cannot alias.
+  /// order N (typically modulator order + 1), decimation ratio R ≥ 1 (R = 1
+  /// degenerates to a pass-through with the filter's fill-in latency),
+  /// differential delay M (1 or 2). The product (R·M)^N must stay below 2^31
+  /// so the integer datapath (input quantised to Q31) cannot alias.
   CicDecimator(int order, int decimation, int differential_delay = 1);
 
   /// Pushes one modulator-rate sample; returns the decimated output when a
   /// full block of R inputs has been accumulated (normalised by the CIC gain
   /// (R·M)^N so that a constant input maps to itself).
   std::optional<double> push(double x);
+
+  /// Block execution: pushes x.size() modulator-rate samples, appending every
+  /// decimated output produced (⌊(phase + x.size()) / R⌋ of them) to `out`.
+  /// Returns the number of outputs written. Bit-identical to x.size() push()
+  /// calls — the integer datapath is exact, and the block loop keeps the
+  /// integrator cascade in registers instead of re-walking the state vector
+  /// per sample. `out` must have room for the outputs the block produces.
+  std::size_t push_block(std::span<const double> x, std::span<double> out);
+
+  /// Register-resident per-block state for fused frame kernels (DESIGN.md
+  /// §9): the integrator cascade and phase, with the comb side left in the
+  /// object (it runs once per decimation frame, not once per sample).
+  /// push() integrates one sample and reports whether a decimated output is
+  /// due — the caller then calls emit() for the comb cascade and scaling.
+  /// The integer datapath is exact, so the kernel is trivially bit-identical
+  /// to the scalar push().
+  struct BlockKernel {
+    std::array<std::uint64_t, 8> acc;
+    int phase, order, decimation;
+    bool push(double x) {
+      return integrate(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(std::llround(x * kInputScale))));
+    }
+    /// Integrates a ±1.0 modulator bit. Bit-identical to push(bit): ±1.0 ·
+    /// kInputScale is exact and llround(-x) == -llround(x), so the quantised
+    /// word is one of two constants — this hoists the llround libm call
+    /// (an out-of-line call per sample) out of fused frame loops.
+    bool push_bit(double bit) {
+      constexpr std::int64_t kQ = static_cast<std::int64_t>(kInputScale);
+      return integrate(static_cast<std::uint64_t>(bit >= 0.0 ? kQ : -kQ));
+    }
+
+   private:
+    bool integrate(std::uint64_t v) {
+      for (int j = 0; j < order; ++j) {
+        acc[static_cast<std::size_t>(j)] += v;
+        v = acc[static_cast<std::size_t>(j)];
+      }
+      if (++phase < decimation) return false;
+      phase = 0;
+      return true;
+    }
+  };
+  [[nodiscard]] BlockKernel begin_block() const;
+  /// Runs the comb cascade on the kernel's newest integrator word and returns
+  /// the normalised decimated output. Call exactly when push() returns true.
+  double emit(const BlockKernel& k);
+  void commit_block(const BlockKernel& k);
 
   void reset();
 

@@ -106,7 +106,15 @@ void SensorNode::advance(const PipeState& state, Seconds duration) {
   for (long long blk = 0; blk < blocks; ++blk) {
     turbulence_state_ = a * turbulence_state_ + b * rng_.gaussian();
     const maf::Environment env = environment_for(state);
-    for (int i = 0; i < ticks_per_block; ++i) anemometer_.tick(env);
+    // One turbulence block == one decimation frame, so the whole inner loop
+    // runs through the block path (bit-identical to ticks_per_block scalar
+    // ticks; the anemometer owns the reusable frame scratch). Commissioning
+    // can leave the loop mid-frame, so realign with scalar ticks first.
+    if (anemometer_.tick_phase() == 0) {
+      anemometer_.tick_frame(env);
+    } else {
+      for (int i = 0; i < ticks_per_block; ++i) anemometer_.tick(env);
+    }
   }
 
   TraceSample sample;

@@ -31,20 +31,9 @@ InputChannel::InputChannel(const ChannelConfig& config, util::Rng rng)
     throw std::invalid_argument("InputChannel: output bits out of range [8,24]");
 }
 
-std::optional<ChannelSample> InputChannel::tick(Volts differential_input,
-                                                Kelvin ambient) {
-  const Seconds dt = tick_period();
-  const double amplified = amp_.step(differential_input, dt, ambient);
-  const double filtered = lpf_.step(amplified, dt);
-  const int bit = adc_.step(Volts{filtered});
-  overload_latch_ = overload_latch_ || adc_.overloaded();
-
-  const auto decimated = cic_.push(static_cast<double>(bit));
-  if (!decimated) return std::nullopt;
-
+ChannelSample InputChannel::make_sample(double normalised) {
   // CIC output is the recovered signal normalised to ±1 of the ADC full
   // scale; quantise to the channel's output word.
-  const double normalised = *decimated;
   const std::int32_t code =
       dsp::quantize_code(normalised, 1.0, config_.output_bits);
   const double adc_input_volts =
@@ -55,6 +44,66 @@ std::optional<ChannelSample> InputChannel::tick(Volts differential_input,
   if (overload_latch_) kOverloadBlocks.add(1);
   overload_latch_ = false;
   return sample;
+}
+
+std::optional<ChannelSample> InputChannel::tick(Volts differential_input,
+                                                Kelvin ambient) {
+  const Seconds dt = tick_period();
+  const double amplified = amp_.step(differential_input, dt, ambient);
+  const double filtered = lpf_.step(amplified, dt);
+  const int bit = adc_.step(Volts{filtered});
+  overload_latch_ = overload_latch_ || adc_.overloaded();
+  if (++frame_phase_ >= config_.decimation) frame_phase_ = 0;
+
+  const auto decimated = cic_.push(static_cast<double>(bit));
+  if (!decimated) return std::nullopt;
+  return make_sample(*decimated);
+}
+
+ChannelSample InputChannel::process_frame(
+    std::span<const double> differential_volts, Kelvin ambient) {
+  if (differential_volts.size() !=
+      static_cast<std::size_t>(config_.decimation))
+    throw std::logic_error("InputChannel: frame size must equal decimation");
+  if (frame_phase_ != 0)
+    throw std::logic_error(
+        "InputChannel: process_frame needs a frame-aligned channel "
+        "(frame_phase() == 0); advance with tick() to the boundary first");
+
+  const Seconds dt = tick_period();
+  const std::size_t n = differential_volts.size();
+
+  // Fully fused sample-major loop: per sample the draws and stages run in
+  // exactly the order (and with exactly the FP operations) of tick() — white,
+  // flicker, amp, RC, dither, ΣΔ, CIC — but on register-resident kernel state
+  // with every loop-invariant hoisted and no per-stage staging buffers.
+  // Sample-major matters for throughput: the stage recurrences (amp pole, RC
+  // poles, ΣΔ integrators) overlap like a systolic pipeline instead of
+  // serialising stage by stage, and the noise draws hide under the recurrence
+  // latency.
+  auto nk = amp_.begin_noise_block();
+  auto dk = adc_.begin_dither_block();
+  auto ak = amp_.begin_block(dt, ambient);
+  auto rk = lpf_.begin_block(dt);
+  auto sk = adc_.begin_block();
+  auto ck = cic_.begin_block();
+  double decimated = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double white = nk.white.draw();
+    const double flicker = nk.flicker.draw();
+    const double amplified = ak.step(differential_volts[i], white, flicker);
+    const double filtered = rk.step(amplified);
+    const double bit = sk.step(filtered, dk.draw());
+    if (ck.push_bit(bit)) decimated = cic_.emit(ck);
+  }
+  amp_.commit_noise_block(nk);
+  adc_.commit_dither_block(dk);
+  amp_.commit_block(ak);
+  lpf_.commit_block(rk);
+  adc_.commit_block(sk);
+  cic_.commit_block(ck);
+  overload_latch_ = overload_latch_ || sk.any_overload;
+  return make_sample(decimated);
 }
 
 Hertz InputChannel::output_rate() const {
@@ -77,6 +126,7 @@ void InputChannel::reset() {
   adc_.reset();
   cic_.reset();
   overload_latch_ = false;
+  frame_phase_ = 0;
 }
 
 }  // namespace aqua::isif

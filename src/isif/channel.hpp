@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "analog/amplifier.hpp"
 #include "analog/rc_filter.hpp"
@@ -45,6 +47,24 @@ class InputChannel {
   std::optional<ChannelSample> tick(util::Volts differential_input,
                                     util::Kelvin ambient = util::celsius(25.0));
 
+  /// Block execution: advances one full decimation frame in a single call —
+  /// exactly `decimation` modulator ticks with the per-tick differential
+  /// inputs given in volts — and returns the one decimated sample the frame
+  /// produces. Bit-identical to `decimation` tick() calls (same noise/dither
+  /// draw order per stream, same FP operation order in every stage, same
+  /// overload latching), but the whole chain — noise draws, amp, RC, ΣΔ, CIC
+  /// — runs as one fused loop on register-resident kernel state with every
+  /// per-block constant hoisted (DESIGN.md §9). Preconditions: inputs.size()
+  /// == decimation, and the channel is frame-aligned (a whole number of
+  /// frames ticked since construction or reset) — throws std::logic_error
+  /// otherwise. No allocation, no per-stage staging buffers.
+  ChannelSample process_frame(std::span<const double> differential_volts,
+                              util::Kelvin ambient = util::celsius(25.0));
+
+  /// Modulator ticks since the last frame boundary (0 = frame-aligned, so
+  /// process_frame() may be called).
+  [[nodiscard]] int frame_phase() const { return frame_phase_; }
+
   void set_gain(double gain) { amp_.set_gain(gain); }
   [[nodiscard]] double gain() const { return amp_.gain(); }
 
@@ -57,12 +77,15 @@ class InputChannel {
   void reset();
 
  private:
+  ChannelSample make_sample(double normalised);
+
   ChannelConfig config_;
   analog::InstrumentAmp amp_;
   analog::RcLowpass lpf_;
   analog::SigmaDeltaModulator adc_;
   dsp::CicDecimator cic_;
   bool overload_latch_ = false;
+  int frame_phase_ = 0;
 };
 
 }  // namespace aqua::isif

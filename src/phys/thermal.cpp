@@ -1,6 +1,7 @@
 #include "phys/thermal.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace aqua::phys {
@@ -14,11 +15,13 @@ ThermalNetwork::NodeId ThermalNetwork::add_node(double capacitance,
   if (capacitance <= 0.0)
     throw std::invalid_argument("ThermalNetwork: capacitance must be positive");
   nodes_.push_back(Node{capacitance, initial.value(), 0.0, false, initial.value()});
+  adjacency_valid_ = false;
   return nodes_.size() - 1;
 }
 
 ThermalNetwork::NodeId ThermalNetwork::add_boundary(Kelvin temperature) {
   nodes_.push_back(Node{0.0, temperature.value(), 0.0, true, temperature.value()});
+  adjacency_valid_ = false;
   return nodes_.size() - 1;
 }
 
@@ -29,7 +32,30 @@ ThermalNetwork::EdgeId ThermalNetwork::connect(NodeId a, NodeId b,
   if (conductance < 0.0)
     throw std::invalid_argument("ThermalNetwork: negative conductance");
   edges_.push_back(Edge{a, b, conductance, conductance});
+  adjacency_valid_ = false;
   return edges_.size() - 1;
+}
+
+void ThermalNetwork::ensure_adjacency() const {
+  if (adjacency_valid_) return;
+  const std::size_t n = nodes_.size();
+  adjacency_start_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++adjacency_start_[e.a + 1];
+    ++adjacency_start_[e.b + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    adjacency_start_[i + 1] += adjacency_start_[i];
+  adjacency_.resize(2 * edges_.size());
+  std::vector<std::size_t> cursor(adjacency_start_.begin(),
+                                  adjacency_start_.end() - 1);
+  // Filling in edge order keeps each node's incidence list sorted by edge id,
+  // matching the edge-major accumulation order (FP-order preservation).
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    adjacency_[cursor[edges_[e].a]++] = Incidence{e, edges_[e].b};
+    adjacency_[cursor[edges_[e].b]++] = Incidence{e, edges_[e].a};
+  }
+  adjacency_valid_ = true;
 }
 
 void ThermalNetwork::set_conductance(EdgeId e, double conductance) {
@@ -57,46 +83,66 @@ void ThermalNetwork::set_power(NodeId n, Watts p) {
 }
 
 void ThermalNetwork::step(Seconds dt) {
+  ensure_adjacency();
   const std::size_t n = nodes_.size();
-  sum_g_.assign(n, 0.0);
-  sum_gt_.assign(n, 0.0);
-  for (const Edge& e : edges_) {
-    sum_g_[e.a] += e.g;
-    sum_g_[e.b] += e.g;
-    sum_gt_[e.a] += e.g * nodes_[e.b].temperature;
-    sum_gt_[e.b] += e.g * nodes_[e.a].temperature;
+  if (decay_arg_.size() != n) {
+    decay_arg_.assign(n, std::numeric_limits<double>::quiet_NaN());
+    decay_val_.assign(n, 0.0);
   }
+  new_temps_.resize(n);
+
+  // Jacobi update: every node relaxes against its neighbours' temperatures
+  // at the start of the step, so the new values are staged and committed
+  // after the sweep.
   for (std::size_t i = 0; i < n; ++i) {
-    Node& node = nodes_[i];
-    if (node.boundary) continue;
-    if (sum_g_[i] <= 0.0) {
-      // Isolated node: pure integration of injected power.
-      node.temperature += node.power * dt.value() / node.capacitance;
+    const Node& node = nodes_[i];
+    if (node.boundary) {
+      new_temps_[i] = node.temperature;
       continue;
     }
-    const double t_inf = (sum_gt_[i] + node.power) / sum_g_[i];
-    const double decay = std::exp(-dt.value() * sum_g_[i] / node.capacitance);
-    node.temperature = t_inf + (node.temperature - t_inf) * decay;
+    double sum_g = 0.0, sum_gt = 0.0;
+    const std::size_t end = adjacency_start_[i + 1];
+    for (std::size_t k = adjacency_start_[i]; k < end; ++k) {
+      const Incidence& inc = adjacency_[k];
+      const double g = edges_[inc.edge].g;
+      sum_g += g;
+      sum_gt += g * nodes_[inc.other].temperature;
+    }
+    if (sum_g <= 0.0) {
+      // Isolated node: pure integration of injected power.
+      new_temps_[i] = node.temperature + node.power * dt.value() / node.capacitance;
+      continue;
+    }
+    const double t_inf = (sum_gt + node.power) / sum_g;
+    // Memoized decay: recompute the exponential only when its exact argument
+    // changed (flow-dependent conductances); bit-identical either way.
+    const double arg = -dt.value() * sum_g / node.capacitance;
+    if (arg != decay_arg_[i]) {
+      decay_arg_[i] = arg;
+      decay_val_[i] = std::exp(arg);
+    }
+    new_temps_[i] = t_inf + (node.temperature - t_inf) * decay_val_[i];
   }
+  for (std::size_t i = 0; i < n; ++i) nodes_[i].temperature = new_temps_[i];
 }
 
 void ThermalNetwork::settle() {
   // Gauss-Seidel relaxation to the algebraic steady state; the networks used
-  // here are tiny (≤ 8 nodes) and diagonally dominant, so this converges fast.
+  // here are tiny (≤ 8 nodes) and diagonally dominant, so this converges
+  // fast. Each node's incident edges come from the precomputed CSR index
+  // (O(N + E) per sweep instead of the O(N·E) edge rescan).
+  ensure_adjacency();
   for (int iter = 0; iter < 500; ++iter) {
     double max_delta = 0.0;
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       Node& node = nodes_[i];
       if (node.boundary) continue;
       double g = 0.0, gt = 0.0;
-      for (const Edge& e : edges_) {
-        if (e.a == i) {
-          g += e.g;
-          gt += e.g * nodes_[e.b].temperature;
-        } else if (e.b == i) {
-          g += e.g;
-          gt += e.g * nodes_[e.a].temperature;
-        }
+      const std::size_t end = adjacency_start_[i + 1];
+      for (std::size_t k = adjacency_start_[i]; k < end; ++k) {
+        const Incidence& inc = adjacency_[k];
+        g += edges_[inc.edge].g;
+        gt += edges_[inc.edge].g * nodes_[inc.other].temperature;
       }
       if (g <= 0.0) continue;
       const double t_new = (gt + node.power) / g;

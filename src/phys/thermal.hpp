@@ -42,7 +42,12 @@ class ThermalNetwork {
   /// heating of the bridge resistors). Persists until changed.
   void set_power(NodeId n, util::Watts p);
 
-  /// Advances all capacitive nodes by dt.
+  /// Advances all capacitive nodes by dt. The per-node decay factor
+  /// exp(−dt·ΣG/C) is memoized on its exact argument: a node whose incident
+  /// conductances (and dt) are bit-identical to the previous step reuses the
+  /// cached exponential, while any change — e.g. a flow-dependent film
+  /// coefficient — recomputes it exactly. Same results either way; the cache
+  /// only skips recomputing a value that is already known.
   void step(util::Seconds dt);
 
   /// Solves the steady state (all capacitive nodes relaxed) in place. Used by
@@ -69,13 +74,34 @@ class ThermalNetwork {
     double g;
     double initial_g;  // as built (for reset)
   };
+  /// One node→edge incidence entry: the edge and the node on its far side.
+  struct Incidence {
+    EdgeId edge;
+    NodeId other;
+  };
 
   void check_node(NodeId n) const;
+  /// (Re)builds the CSR-style node→edge index if topology changed since the
+  /// last build. Per node, incident edges appear in increasing edge id — the
+  /// same order the edge-major scan visits them, so switching the sweeps to
+  /// the index preserves FP accumulation order.
+  void ensure_adjacency() const;
 
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
-  std::vector<double> sum_g_;      // scratch: ΣG per node
-  std::vector<double> sum_gt_;     // scratch: ΣG·T per node
+
+  // CSR adjacency: incidence entries of node n live at
+  // adjacency_[adjacency_start_[n] .. adjacency_start_[n+1]). Built lazily on
+  // first step()/settle(), invalidated by connect()/add_node/add_boundary.
+  mutable std::vector<Incidence> adjacency_;
+  mutable std::vector<std::size_t> adjacency_start_;
+  mutable bool adjacency_valid_ = false;
+
+  // Decay memo: exp(decay_arg_[n]) == decay_val_[n] for the last argument
+  // −dt·ΣG/C seen at node n (NaN = never computed).
+  std::vector<double> decay_arg_;
+  std::vector<double> decay_val_;
+  std::vector<double> new_temps_;  // scratch: staged temperatures for step()
 };
 
 }  // namespace aqua::phys

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 namespace aqua::sim {
 
@@ -42,6 +43,10 @@ double FirstOrderLag::step(double target, Seconds dt) {
     y_ = target + (y_ - target) * a;
   }
   return y_;
+}
+
+double FirstOrderLag::decay(Seconds dt) const {
+  return tau_ <= 0.0 ? 0.0 : std::exp(-dt.value() / tau_);
 }
 
 void FirstOrderLag::set_tau(Seconds tau) {

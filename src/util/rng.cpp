@@ -1,7 +1,5 @@
 #include "util/rng.hpp"
 
-#include <cmath>
-
 namespace aqua::util {
 
 namespace {
@@ -14,10 +12,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -26,55 +20,6 @@ Rng::Rng(std::uint64_t seed) {
   // produce four consecutive zeros in practice, but guard anyway.
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 high bits -> uniform double in [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
-
-double Rng::gaussian() {
-  if (has_spare_) {
-    has_spare_ = false;
-    return spare_;
-  }
-  double u, v, s;
-  do {
-    u = uniform(-1.0, 1.0);
-    v = uniform(-1.0, 1.0);
-    s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
-  const double scale = std::sqrt(-2.0 * std::log(s) / s);
-  spare_ = v * scale;
-  has_spare_ = true;
-  return u * scale;
-}
-
-double Rng::gaussian(double mean, double stddev) {
-  return mean + stddev * gaussian();
-}
-
-bool Rng::bernoulli(double p) { return uniform() < p; }
-
-std::uint64_t Rng::below(std::uint64_t n) {
-  // Lemire-style rejection-free-enough bound; n is small in all our uses.
-  return next_u64() % n;
-}
-
-Rng Rng::split() { return Rng{next_u64()}; }
 
 Rng Rng::stream(std::uint64_t root_seed, std::uint64_t stream_id) {
   // Murmur3-style finalizer: full-avalanche 64-bit hash, applied twice so the

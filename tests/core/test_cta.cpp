@@ -207,6 +207,55 @@ TEST(Cta, ConfigValidation) {
       std::invalid_argument);
 }
 
+TEST(Cta, TickFrameBitIdenticalToScalarTicks) {
+  // The whole conditioning loop — DAC, bridge solve, die thermal step, both
+  // ISIF channels, firmware at the frame boundary — advanced a frame at a
+  // time must land on exactly the state the scalar tick loop produces.
+  auto scalar = make_anemo(51);
+  auto block = make_anemo(51);
+  const auto env = water_at(0.9);
+  const int frame = scalar.platform().config().channel.decimation;
+  for (int f = 0; f < 40; ++f) {
+    for (int i = 0; i < frame; ++i) scalar.tick(env);
+    block.tick_frame(env);
+    ASSERT_EQ(scalar.now().value(), block.now().value()) << f;
+    ASSERT_EQ(scalar.control_output(), block.control_output()) << f;
+    ASSERT_EQ(scalar.bridge_voltage(), block.bridge_voltage()) << f;
+    ASSERT_EQ(scalar.filtered_voltage(), block.filtered_voltage()) << f;
+    ASSERT_EQ(scalar.direction_signal(), block.direction_signal()) << f;
+    ASSERT_EQ(scalar.die().temperatures().heater_a.value(),
+              block.die().temperatures().heater_a.value())
+        << f;
+  }
+}
+
+TEST(Cta, RunMixesFramesAndTicksBitIdentically) {
+  // run() takes the block path for whole frames and scalar ticks for the
+  // unaligned head/tail; a duration that is NOT a whole number of frames must
+  // still match the pure scalar loop exactly.
+  auto scalar = make_anemo(52);
+  auto mixed = make_anemo(52);
+  const auto env = water_at(0.4);
+  const auto dt = scalar.tick_period();
+  const long long n = 3 * 128 + 37;  // frames plus a sub-frame tail
+  for (long long i = 0; i < n; ++i) scalar.tick(env);
+  mixed.run(util::Seconds{(static_cast<double>(n) - 0.5) * dt.value()}, env);
+  EXPECT_EQ(scalar.now().value(), mixed.now().value());
+  EXPECT_EQ(scalar.control_output(), mixed.control_output());
+  EXPECT_EQ(scalar.bridge_voltage(), mixed.bridge_voltage());
+  EXPECT_EQ(scalar.direction_signal(), mixed.direction_signal());
+  EXPECT_EQ(scalar.die().temperatures().heater_a.value(),
+            mixed.die().temperatures().heater_a.value());
+}
+
+TEST(Cta, TickFrameRequiresAlignment) {
+  auto anemo = make_anemo(53);
+  const auto env = water_at(0.2);
+  anemo.tick(env);
+  EXPECT_EQ(anemo.tick_phase(), 1);
+  EXPECT_THROW(anemo.tick_frame(env), std::logic_error);
+}
+
 TEST(Cta, FixedPointPiImplementationAlsoConverges) {
   CtaConfig cfg;
   cfg.pi_impl = isif::IpImpl::kHardwareFixed;

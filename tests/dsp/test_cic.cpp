@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <span>
+#include <vector>
 
 namespace aqua::dsp {
 namespace {
@@ -84,8 +87,116 @@ TEST(Cic, DifferentialDelayTwoStillUnityDc) {
 TEST(Cic, Validation) {
   EXPECT_THROW((CicDecimator{0, 8}), std::invalid_argument);
   EXPECT_THROW((CicDecimator{9, 8}), std::invalid_argument);
-  EXPECT_THROW((CicDecimator{3, 1}), std::invalid_argument);
+  EXPECT_THROW((CicDecimator{3, 0}), std::invalid_argument);
   EXPECT_THROW((CicDecimator{3, 8, 3}), std::invalid_argument);
+  EXPECT_NO_THROW((CicDecimator{3, 1}));  // R = 1 degenerates to pass-through
+}
+
+TEST(Cic, DecimationOnePassesInputsThrough) {
+  // With R = 1 and M = 1 every integrator-comb pair telescopes to identity:
+  // each push yields its own input back (to within the Q31 quantisation).
+  CicDecimator cic{3, 1};
+  for (int i = 0; i < 64; ++i) {
+    const double x = std::sin(0.3 * i) * 0.8;
+    const auto y = cic.push(x);
+    ASSERT_TRUE(y.has_value()) << i;
+    EXPECT_NEAR(*y, x, 1e-9) << i;
+  }
+}
+
+TEST(Cic, OrderOneIsBoxcarAverage) {
+  // An order-1 CIC is exactly the mean of each R-block of quantised inputs.
+  constexpr int kR = 8;
+  CicDecimator cic{1, kR};
+  double sum = 0.0;
+  for (int i = 0; i < kR; ++i) {
+    const double x = 0.1 * (i - 3);
+    sum += x;
+    const auto y = cic.push(x);
+    if (i < kR - 1) {
+      EXPECT_FALSE(y.has_value());
+    } else {
+      ASSERT_TRUE(y.has_value());
+      EXPECT_NEAR(*y, sum / kR, 1e-9);
+    }
+  }
+}
+
+TEST(Cic, OrderFourBitstreamAverageRecovered) {
+  // High-order edge: (R·M)^4 gain, still unity at DC for a 50% duty stream.
+  CicDecimator cic{4, 16};
+  double last = 1.0;
+  for (int i = 0; i < 16 * 30; ++i)
+    if (auto y = cic.push((i % 2 == 0) ? 1.0 : -1.0)) last = *y;
+  EXPECT_NEAR(last, 0.0, 1e-9);
+}
+
+TEST(Cic, ResetMidFrameDiscardsPartialAccumulation) {
+  CicDecimator cic{2, 8};
+  // Poison the integrators with a partial frame of full-scale input…
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(cic.push(1.0).has_value());
+  cic.reset();
+  // …then a clean frame of a different DC must decode as if freshly built.
+  CicDecimator fresh{2, 8};
+  for (int i = 0; i < 8 * 4; ++i) {
+    const auto a = cic.push(-0.25);
+    const auto b = fresh.push(-0.25);
+    ASSERT_EQ(a.has_value(), b.has_value()) << i;
+    if (a) {
+      EXPECT_EQ(*a, *b) << i;
+    }
+  }
+}
+
+TEST(Cic, PushBlockBitIdenticalToPush) {
+  CicDecimator scalar{3, 16};
+  CicDecimator block{3, 16};
+  std::vector<double> x(16 * 12 + 7);  // deliberately not frame-aligned
+  for (size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(0.2 * static_cast<double>(i));
+  std::vector<double> expect;
+  for (double v : x)
+    if (auto y = scalar.push(v)) expect.push_back(*y);
+  std::vector<double> got(expect.size() + 4);
+  size_t n = 0;
+  // Odd chunk sizes so block boundaries straddle decimation frames.
+  for (size_t at = 0; at < x.size();) {
+    const size_t len = std::min<size_t>(13, x.size() - at);
+    n += block.push_block(std::span<const double>{x}.subspan(at, len),
+                          std::span<double>{got}.subspan(n));
+    at += len;
+  }
+  ASSERT_EQ(n, expect.size());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(expect[i], got[i]) << i;
+  }
+}
+
+TEST(Cic, KernelPushBitBitIdenticalToPush) {
+  // push_bit() hoists the llround out of the fused loop for exact ±1.0
+  // inputs; the integer words it integrates must match push(±1.0) exactly.
+  CicDecimator scalar{3, 32};
+  CicDecimator block{3, 32};
+  auto k = block.begin_block();
+  for (int i = 0; i < 32 * 6; ++i) {
+    const double bit = ((i * 7) % 3 == 0) ? 1.0 : -1.0;
+    const auto y = scalar.push(bit);
+    const bool due = k.push_bit(bit);
+    ASSERT_EQ(y.has_value(), due) << i;
+    if (due) {
+      EXPECT_EQ(*y, block.emit(k)) << i;
+    }
+  }
+  block.commit_block(k);
+  // Both sides agree on the next full frame too.
+  for (int i = 0; i < 32; ++i) {
+    const auto a = scalar.push(1.0);
+    const auto b = block.push(1.0);
+    ASSERT_EQ(a.has_value(), b.has_value()) << i;
+    if (a) {
+      EXPECT_EQ(*a, *b) << i;
+    }
+  }
 }
 
 class CicOrderSweep : public ::testing::TestWithParam<int> {};

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
 
 namespace aqua::isif {
 namespace {
@@ -110,6 +113,83 @@ TEST(InputChannel, ResetClearsPipeline) {
   int ticks_to_sample = 0;
   while (!ch.tick(volts(0.0))) ++ticks_to_sample;
   EXPECT_EQ(ticks_to_sample, 127);
+}
+
+TEST(InputChannel, ProcessFrameBitIdenticalToTicks) {
+  // The heart of the block-execution contract: with every noise source live,
+  // the fused frame path must reproduce the scalar tick path byte for byte —
+  // codes, values, overload flags — because it performs the same draws and
+  // the same FP operations in the same order (DESIGN.md §9).
+  ChannelConfig cfg{};  // default = full noise + dither
+  InputChannel scalar{cfg, Rng{41}};
+  InputChannel block{cfg, Rng{41}};
+  const int dec = cfg.decimation;
+  std::vector<double> frame(static_cast<size_t>(dec));
+  for (int f = 0; f < 25; ++f) {
+    for (int i = 0; i < dec; ++i)
+      frame[static_cast<size_t>(i)] =
+          5e-3 * std::sin(0.002 * (f * dec + i)) + ((f == 11) ? 2.0 : 0.0);
+    std::optional<ChannelSample> want;
+    for (int i = 0; i < dec; ++i) {
+      auto s = scalar.tick(volts(frame[static_cast<size_t>(i)]));
+      if (s) want = s;
+    }
+    ASSERT_TRUE(want.has_value()) << "frame " << f;
+    const ChannelSample got = block.process_frame(frame);
+    EXPECT_EQ(want->code, got.code) << "frame " << f;
+    EXPECT_EQ(want->value, got.value) << "frame " << f;
+    EXPECT_EQ(want->overload, got.overload) << "frame " << f;
+  }
+}
+
+TEST(InputChannel, ProcessFrameInterleavesWithTicks) {
+  // Frames and scalar ticks can be mixed freely at frame boundaries without
+  // disturbing the RNG stream positions.
+  ChannelConfig cfg{};
+  InputChannel scalar{cfg, Rng{42}};
+  InputChannel mixed{cfg, Rng{42}};
+  const int dec = cfg.decimation;
+  std::vector<double> frame(static_cast<size_t>(dec), 1e-3);
+  for (int f = 0; f < 8; ++f) {
+    std::optional<ChannelSample> want;
+    for (int i = 0; i < dec; ++i)
+      if (auto s = scalar.tick(volts(1e-3))) want = s;
+    std::optional<ChannelSample> got;
+    if (f % 2 == 0) {
+      got = mixed.process_frame(frame);
+    } else {
+      for (int i = 0; i < dec; ++i)
+        if (auto s = mixed.tick(volts(1e-3))) got = s;
+    }
+    ASSERT_TRUE(want && got) << f;
+    EXPECT_EQ(want->code, got->code) << f;
+    EXPECT_EQ(want->value, got->value) << f;
+  }
+}
+
+TEST(InputChannel, ProcessFrameRejectsWrongSizeAndMisalignment) {
+  InputChannel ch{quiet_config(), Rng{43}};
+  std::vector<double> wrong(17, 0.0);
+  EXPECT_THROW((void)ch.process_frame(wrong), std::logic_error);
+  std::vector<double> frame(128, 0.0);
+  (void)ch.tick(volts(0.0));  // knock the channel off the frame boundary
+  EXPECT_EQ(ch.frame_phase(), 1);
+  EXPECT_THROW((void)ch.process_frame(frame), std::logic_error);
+  ch.reset();  // reset realigns
+  EXPECT_EQ(ch.frame_phase(), 0);
+  EXPECT_NO_THROW((void)ch.process_frame(frame));
+}
+
+TEST(InputChannel, ResetReplaysFramesBitIdentically) {
+  ChannelConfig cfg{};
+  InputChannel ch{cfg, Rng{44}};
+  std::vector<double> frame(static_cast<size_t>(cfg.decimation));
+  for (size_t i = 0; i < frame.size(); ++i) frame[i] = 2e-3 * std::cos(0.1 * i);
+  std::vector<std::int32_t> first;
+  for (int f = 0; f < 5; ++f) first.push_back(ch.process_frame(frame).code);
+  ch.reset();
+  for (int f = 0; f < 5; ++f)
+    EXPECT_EQ(first[static_cast<size_t>(f)], ch.process_frame(frame).code) << f;
 }
 
 TEST(InputChannel, Validation) {

@@ -111,6 +111,66 @@ TEST(ThermalNetwork, BoundaryTemperatureUpdates) {
   EXPECT_NEAR(util::to_celsius(net.temperature(node)), 35.0, 1e-9);
 }
 
+TEST(ThermalNetwork, DecayCacheTransparentAcrossDtChanges) {
+  // The per-node exp(-dt·Σg/C) memo is keyed on its exact argument. A single
+  // node relaxing to a bath has the closed form T = Tb + (T0−Tb)·Πexp(−dtᵢ/τ),
+  // so stepping dt1, dt1, dt2, dt1 exposes any stale cache hit: reusing dt2's
+  // decay for the final dt1 step would miss the expected value by far more
+  // than rounding.
+  ThermalNetwork net;
+  const double cap = 1e-6, g = 2e-3;  // tau = 0.5 ms
+  const auto n = net.add_node(cap, celsius(40.0));
+  const auto bath = net.add_boundary(celsius(20.0));
+  net.connect(n, bath, g);
+  const double dts[] = {1e-4, 1e-4, 2.5e-4, 1e-4};
+  double expected_delta = 20.0;
+  for (const double dt : dts) {
+    net.step(Seconds{dt});
+    expected_delta *= std::exp(-dt * g / cap);
+  }
+  EXPECT_NEAR(net.temperature(n).value() - celsius(20.0).value(),
+              expected_delta, 1e-9);
+}
+
+TEST(ThermalNetwork, DecayCacheInvalidatedByConductanceChange) {
+  // Changing an edge conductance changes Σg/C; the memo must recompute, and
+  // the result must equal a network built with that conductance directly.
+  ThermalNetwork net;
+  const auto n = net.add_node(1e-6, celsius(30.0));
+  const auto bath = net.add_boundary(celsius(20.0));
+  const auto e = net.connect(n, bath, 1e-3);
+  net.step(Seconds{1e-3});  // primes the cache at g = 1e-3
+  net.set_conductance(e, 4e-3);
+  net.step(Seconds{1e-3});
+
+  ThermalNetwork twin;
+  const auto tn = twin.add_node(1e-6, celsius(30.0));
+  const auto tb = twin.add_boundary(celsius(20.0));
+  (void)twin.connect(tn, tb, 1e-3);
+  twin.step(Seconds{1e-3});
+  twin.set_conductance(0, 4e-3);
+  twin.step(Seconds{1e-3});
+  EXPECT_EQ(net.temperature(n).value(), twin.temperature(tn).value());
+}
+
+TEST(ThermalNetwork, StepAfterSettleUsesSameAdjacency) {
+  // settle() and step() share the CSR adjacency; growing the network after a
+  // settle must rebuild it rather than read stale rows.
+  ThermalNetwork net;
+  const auto a = net.add_node(1e-6, celsius(25.0));
+  const auto bath = net.add_boundary(celsius(15.0));
+  net.connect(a, bath, 2e-3);
+  net.settle();
+  EXPECT_NEAR(util::to_celsius(net.temperature(a)), 15.0, 1e-9);
+  const auto b = net.add_node(1e-6, celsius(40.0));
+  net.connect(a, b, 2e-3);
+  net.settle();
+  EXPECT_NEAR(util::to_celsius(net.temperature(b)), 15.0, 1e-6);
+  net.set_power(b, watts(1e-3));
+  net.step(Seconds{1e-3});
+  EXPECT_GT(net.temperature(b).value(), net.temperature(a).value());
+}
+
 TEST(ThermalNetwork, InputValidation) {
   ThermalNetwork net;
   EXPECT_THROW((void)net.add_node(0.0, celsius(20.0)), std::invalid_argument);
