@@ -22,8 +22,10 @@
 #include "fleet/fleet.hpp"
 #include "isif/channel.hpp"
 #include "maf/die.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -80,6 +82,11 @@ struct StageRates {
   double cic_block = 0.0;
   double channel_scalar = 0.0;
   double channel_block = 0.0;
+  /// Channel block path with the trace recorder compiled in but explicitly
+  /// disabled — the cost of the dormant AQUA_TRACE_* branches, gated in CI
+  /// like channel_block_sps (a tracing hook that slows the disabled hot path
+  /// >20% is a regression).
+  double channel_block_tracing_off = 0.0;
   double thermal_step = 0.0;
 };
 
@@ -136,6 +143,7 @@ StageRates measure_stages() {
     // alike instead of skewing whichever ran second.
     isif::InputChannel ch{isif::ChannelConfig{}, util::Rng{2}};
     isif::InputChannel chf{isif::ChannelConfig{}, util::Rng{2}};
+    isif::InputChannel cht{isif::ChannelConfig{}, util::Rng{2}};
     std::vector<double> frame(kFrame, 1e-3);
     double sink = 0.0;
     for (int pass = 0; pass < 3; ++pass) {
@@ -147,6 +155,13 @@ StageRates measure_stages() {
       s.channel_block = std::max(
           s.channel_block, rate_per_second(kFrame, [&] {
             sink += chf.process_frame(frame).value;
+          }));
+      // Same block path under an explicit tracing kill-switch: the window
+      // rides the same alternation so clock wander hits all three alike.
+      obs::TraceRecorder::set_enabled(false);
+      s.channel_block_tracing_off = std::max(
+          s.channel_block_tracing_off, rate_per_second(kFrame, [&] {
+            sink += cht.process_frame(frame).value;
           }));
     }
     if (sink == 42.0) std::printf(" ");
@@ -230,7 +245,7 @@ void write_json_report(const std::vector<std::pair<std::string, RunResult>>& mod
   {
     // Per-stage micro throughput (samples/s): where the end-to-end number
     // comes from, and the input to the CI regression gate.
-    char buf[512];
+    char buf[1024];
     std::snprintf(
         buf, sizeof buf,
         "  \"stages\": {\n"
@@ -241,12 +256,18 @@ void write_json_report(const std::vector<std::pair<std::string, RunResult>>& mod
         "    \"channel_scalar_sps\": %.0f,\n"
         "    \"channel_block_sps\": %.0f,\n"
         "    \"channel_block_over_scalar\": %.3f,\n"
+        "    \"channel_block_tracing_off_sps\": %.0f,\n"
+        "    \"channel_tracing_off_over_block\": %.3f,\n"
         "    \"thermal_step_sps\": %.0f\n"
         "  },\n",
         stages.amp_scalar, stages.amp_block, stages.sigma_delta_block,
         stages.cic_block, stages.channel_scalar, stages.channel_block,
         stages.channel_scalar > 0.0
             ? stages.channel_block / stages.channel_scalar
+            : 0.0,
+        stages.channel_block_tracing_off,
+        stages.channel_block > 0.0
+            ? stages.channel_block_tracing_off / stages.channel_block
             : 0.0,
         stages.thermal_step);
     out += buf;
@@ -283,6 +304,12 @@ int main() {
 
   std::vector<std::pair<std::string, RunResult>> results;
 
+  // Trace the timed modes: the capture itself is part of what this bench
+  // proves (identical checksums with tracing enabled = the no-perturbation
+  // contract). Pool workers name their tracks as each pool spins up.
+  obs::TraceRecorder::set_enabled(true);
+  obs::TraceRecorder::set_thread_name("main");
+
   const RunResult serial = run_mode(0, sim_seconds);
   results.emplace_back("serial", serial);
   std::printf("%-12s %10.3f %16.1f %18llx\n", "serial", serial.wall_s,
@@ -306,6 +333,19 @@ int main() {
               "bit-for-bit\n",
               deterministic ? "PASS" : "FAIL");
 
+  // Export the capture next to the metrics artifact, then disable tracing so
+  // the stage micro-benchmarks below measure the dormant-branch hot path.
+  {
+    const char* env_trace = std::getenv("AQUA_TRACE_JSON");
+    const std::string trace_path =
+        env_trace != nullptr ? env_trace : "BENCH_fleet_trace.json";
+    obs::write_chrome_trace(trace_path,
+                            obs::TraceRecorder::instance().snapshot());
+    std::printf("trace: wrote %s (open at https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  obs::TraceRecorder::set_enabled(false);
+
   std::printf("\nper-stage micro throughput (samples/s):\n");
   const StageRates stages = measure_stages();
   std::printf("  %-22s %12.3e\n", "amp scalar", stages.amp_scalar);
@@ -317,6 +357,11 @@ int main() {
               stages.channel_block,
               stages.channel_scalar > 0.0
                   ? stages.channel_block / stages.channel_scalar
+                  : 0.0);
+  std::printf("  %-22s %12.3e  (%.2fx traced-build block)\n",
+              "channel (tracing off)", stages.channel_block_tracing_off,
+              stages.channel_block > 0.0
+                  ? stages.channel_block_tracing_off / stages.channel_block
                   : 0.0);
   std::printf("  %-22s %12.3e\n", "thermal die step", stages.thermal_step);
 

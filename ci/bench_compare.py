@@ -7,14 +7,20 @@ same machinery as ci/tier1_baseline_seconds.txt). The job fails when the
 block-path channel throughput regresses more than the allowed fraction, or
 when the block path loses its edge over the scalar reference path entirely.
 
-CI runners differ from the machine that recorded the baseline, so two checks
-with different characters are applied:
+CI runners differ from the machine that recorded the baseline, so the gates
+come in two characters:
 
-* channel_block_sps vs baseline           — absolute samples/s, 20 % slack.
+* channel_block_sps vs baseline               — absolute samples/s, 20 % slack.
   Catches "someone deoptimised the fused loop" on comparable hardware.
-* channel_block_over_scalar ratio >= 1.0  — machine-independent. The block
+* channel_block_tracing_off_sps vs baseline   — same 20 % slack, measured with
+  the trace recorder compiled in but disabled. Catches tracing hooks whose
+  dormant branches leak into the hot path.
+* channel_block_over_scalar ratio >= 1.0      — machine-independent. The block
   path running SLOWER than per-tick scalar calls in the same binary is a
   structural regression no amount of runner variance explains.
+* channel_tracing_off_over_block ratio >= 0.8 — machine-independent companion
+  for the tracing overhead: both sides run in the same binary seconds apart,
+  so a >20 % gap is the instrumentation, not the runner.
 
 Other stage rates are reported but only warn: they feed the artifact for
 trend-watching, not the gate.
@@ -26,8 +32,10 @@ import json
 import sys
 
 REGRESSION_SLACK = 0.20  # fail below 80 % of the baseline throughput
-GATED_KEY = "channel_block_sps"
+GATED_KEYS = ["channel_block_sps", "channel_block_tracing_off_sps"]
 RATIO_KEY = "channel_block_over_scalar"
+TRACING_RATIO_KEY = "channel_tracing_off_over_block"
+TRACING_RATIO_FLOOR = 0.80
 WARN_KEYS = [
     "amp_scalar_sps",
     "amp_block_sps",
@@ -38,39 +46,72 @@ WARN_KEYS = [
 ]
 
 
+def load_stages(path, role):
+    """Loads the "stages" object of a report; emits ::error and returns None
+    on a missing, unreadable, or unparsable file (instead of a traceback)."""
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as exc:
+        print(f"::error::cannot read {role} file {path}: {exc} — "
+              "did bench_fleet run and write its JSON report?")
+        return None
+    except json.JSONDecodeError as exc:
+        print(f"::error::{role} file {path} is not valid JSON ({exc}) — "
+              "truncated bench run or corrupted artifact")
+        return None
+    stages = report.get("stages")
+    if not isinstance(stages, dict):
+        print(f"::error::{role} file {path} has no \"stages\" object — "
+              "bench_fleet did not write its per-stage section")
+        return None
+    return stages
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
-    with open(argv[1]) as f:
-        measured = json.load(f).get("stages", {})
-    with open(argv[2]) as f:
-        baseline = json.load(f).get("stages", {})
-
-    if GATED_KEY not in measured:
-        print(f"::error::{argv[1]} has no stages.{GATED_KEY} — "
-              "bench_fleet did not write its per-stage section")
+    measured = load_stages(argv[1], "measured")
+    baseline = load_stages(argv[2], "baseline")
+    if measured is None or baseline is None:
         return 1
 
     failed = False
 
-    got = measured[GATED_KEY]
-    want = baseline.get(GATED_KEY, 0.0)
-    floor = want * (1.0 - REGRESSION_SLACK)
-    print(f"{GATED_KEY}: measured {got:.3e}, baseline {want:.3e}, "
-          f"floor {floor:.3e} ({100 * (1 - REGRESSION_SLACK):.0f} %)")
-    if got < floor:
-        print(f"::error::channel block throughput regressed "
-              f">{100 * REGRESSION_SLACK:.0f} % vs the committed baseline "
-              f"({got:.3e} < {floor:.3e} samples/s) — update "
-              f"{argv[2]} only with an explanation")
-        failed = True
+    for key in GATED_KEYS:
+        if key not in measured:
+            print(f"::error::{argv[1]} has no stages.{key} — "
+                  "bench_fleet did not write its per-stage section")
+            failed = True
+            continue
+        got = measured[key]
+        want = baseline.get(key, 0.0)
+        floor = want * (1.0 - REGRESSION_SLACK)
+        print(f"{key}: measured {got:.3e}, baseline {want:.3e}, "
+              f"floor {floor:.3e} ({100 * (1 - REGRESSION_SLACK):.0f} %)")
+        if got < floor:
+            print(f"::error::{key} regressed "
+                  f">{100 * REGRESSION_SLACK:.0f} % vs the committed baseline "
+                  f"({got:.3e} < {floor:.3e} samples/s) — update "
+                  f"{argv[2]} only with an explanation")
+            failed = True
 
     ratio = measured.get(RATIO_KEY, 0.0)
     print(f"{RATIO_KEY}: {ratio:.2f} (must stay >= 1.0)")
     if ratio < 1.0:
         print("::error::the fused block path is slower than the scalar "
               "reference path in the same binary — structural regression")
+        failed = True
+
+    tracing_ratio = measured.get(TRACING_RATIO_KEY, 0.0)
+    print(f"{TRACING_RATIO_KEY}: {tracing_ratio:.2f} "
+          f"(must stay >= {TRACING_RATIO_FLOOR:.1f})")
+    if tracing_ratio < TRACING_RATIO_FLOOR:
+        print("::error::disabled tracing costs more than "
+              f"{100 * (1 - TRACING_RATIO_FLOOR):.0f} % of channel block "
+              "throughput — the dormant AQUA_TRACE_* branches leaked into "
+              "the hot path")
         failed = True
 
     for key in WARN_KEYS:

@@ -72,6 +72,11 @@ int main() {
   const auto faults = health.assess(anemometer, reading, Seconds{1.0});
   std::printf("health after the event: %s —", health.healthy() ? "OK" : "FAULT");
   for (const auto f : faults) std::printf(" %s", cta::fault_name(f).c_str());
-  std::puts("\n=> dispatch maintenance: sensor head replacement required.");
+  std::puts("");
+
+  // --- 5. pull the blackbox: what did the sensor live through? ---------------
+  std::puts("\nflight recorder (the sensor's own history around the fault):");
+  std::fputs(anemometer.flight().dump_text().c_str(), stdout);
+  std::puts("=> dispatch maintenance: sensor head replacement required.");
   return 0;
 }

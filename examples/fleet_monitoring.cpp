@@ -9,11 +9,18 @@
 
 #include "core/rig.hpp"
 #include "fleet/fleet.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 int main() {
   using namespace aqua;
   using util::Seconds;
+
+  // Capture the whole run as a trace: epochs, hydro solves, per-sensor frame
+  // batches and the pool's task/steal activity, one track per thread.
+  obs::TraceRecorder::set_enabled(true);
+  obs::TraceRecorder::set_thread_name("main");
 
   // --- the district: one reservoir, 7 junctions, 10 pipes, looped ----------
   hydro::WaterNetwork net;
@@ -99,5 +106,13 @@ int main() {
                             ? "leak localized: isolate the junction and "
                               "dispatch the crew (paper vision achieved)"
                             : "leak NOT localized");
+
+  // --- export the timeline ---------------------------------------------------
+  const std::string trace_path = "fleet_monitoring_trace.json";
+  obs::write_chrome_trace(trace_path,
+                          obs::TraceRecorder::instance().snapshot());
+  std::printf("\ntrace: wrote %s — open it at https://ui.perfetto.dev to see "
+              "the day unfold per thread\n",
+              trace_path.c_str());
   return localized ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 
 #include "analog/bridge.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phys/resistor.hpp"
 
 namespace aqua::cta {
@@ -154,6 +155,7 @@ void CtaAnemometer::tick(const maf::Environment& env) {
     pending_error_code_ = static_cast<double>(sample_a->code) / max_code;
     adc_overload_ = sample_a->overload;
     if (adc_overload_) kAdcOverloadTicks.add(1);
+    note_frame_boundary();
     isif_.firmware().tick();
   }
 }
@@ -203,7 +205,19 @@ void CtaAnemometer::tick_frame(const maf::Environment& env) {
   pending_error_code_ = static_cast<double>(sample_a.code) / max_code;
   adc_overload_ = sample_a.overload;
   if (adc_overload_) kAdcOverloadTicks.add(1);
+  note_frame_boundary();
   isif_.firmware().tick();
+}
+
+/// Blackbox edge detection at the decimated (frame) rate, shared by the
+/// scalar and block paths so both record identical histories.
+void CtaAnemometer::note_frame_boundary() {
+  if (adc_overload_ != adc_overload_prev_) {
+    flight_.record(t_.value(), adc_overload_
+                                   ? obs::FlightRecordKind::kAdcOverloadEnter
+                                   : obs::FlightRecordKind::kAdcOverloadExit);
+    adc_overload_prev_ = adc_overload_;
+  }
 }
 
 void CtaAnemometer::control_update() {
@@ -220,7 +234,10 @@ void CtaAnemometer::control_update() {
   const int max_code = dac.dac().max_code();
 
   if (!phase_on_) {
-    if (was_on_) u_held_ = u_;
+    if (was_on_) {
+      u_held_ = u_;
+      flight_.record(t_.value(), obs::FlightRecordKind::kDriveOff, 0, u_held_);
+    }
     was_on_ = false;
     dac.request_code(static_cast<int>(
         std::lround(config_.pulse.keep_alive * max_code)));
@@ -233,12 +250,23 @@ void CtaAnemometer::control_update() {
     // re-adding the proportional term on top of it.
     pi_.reset(u_held_, error);
     was_on_ = true;
+    flight_.record(t_.value(), obs::FlightRecordKind::kDriveOn, 0, u_held_);
   }
   u_ = pi_.update(error);
   dac.request_code(static_cast<int>(std::lround(u_ * max_code)));
+
+  const bool saturated = u_ <= config_.pi_min || u_ >= config_.pi_max;
+  if (saturated != pi_saturated_) {
+    flight_.record(t_.value(), saturated
+                                   ? obs::FlightRecordKind::kPiSaturationEnter
+                                   : obs::FlightRecordKind::kPiSaturationExit,
+                   0, u_);
+    pi_saturated_ = saturated;
+  }
 }
 
 void CtaAnemometer::run(Seconds duration, const maf::Environment& env) {
+  AQUA_TRACE_SPAN_SIM("cta.run", t_.value());
   const long long n =
       static_cast<long long>(std::ceil(duration.value() / tick_period().value()));
   const long long frame = isif_.config().channel.decimation;
@@ -259,6 +287,7 @@ void CtaAnemometer::commission(const maf::Environment& zero_flow_env,
   // The heavily-filtered direction signal settles slowly, so the null is
   // taken in passes: each pass absorbs what the filter has converged to and
   // the loop stops once the increment is negligible against the dead-band.
+  AQUA_TRACE_SPAN_SIM("cta.commission", t_.value());
   double settled = 0.0;
   for (int pass = 0; pass < 5; ++pass) {
     run(settle, zero_flow_env);
@@ -270,9 +299,16 @@ void CtaAnemometer::commission(const maf::Environment& zero_flow_env,
     if (std::abs(increment) < 0.25 * config_.direction_deadband) break;
   }
   kCommissionSettle.observe(settled);
+  flight_.record(t_.value(), obs::FlightRecordKind::kCommission, 0, settled);
 }
 
 void CtaAnemometer::reset() {
+  // Record the reset at the *old* time, then rewind. The blackbox history
+  // survives reset on purpose; only the edge detectors restart so the replay
+  // records the same transitions again.
+  flight_.record(t_.value(), obs::FlightRecordKind::kReset);
+  pi_saturated_ = false;
+  adc_overload_prev_ = false;
   die_.reset();
   package_.reset();
   isif_.reset();

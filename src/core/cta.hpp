@@ -21,6 +21,7 @@
 #include "isif/platform.hpp"
 #include "maf/die.hpp"
 #include "maf/package.hpp"
+#include "obs/flight.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -149,6 +150,13 @@ class CtaAnemometer {
 
   [[nodiscard]] CtaStatus status() const;
 
+  /// The sensor's blackbox: recent loop events (drive phases, PI saturation,
+  /// ADC overload, faults, commissioning/reset marks), stamped with
+  /// simulation time. Deliberately NOT cleared by reset() — a blackbox that
+  /// forgets the crash is useless. Mutable so diagnosis layers
+  /// (core::HealthMonitor) can append fault records through a const sensor.
+  [[nodiscard]] obs::FlightRecorder& flight() const { return flight_; }
+
   [[nodiscard]] maf::MafDie& die() { return die_; }
   [[nodiscard]] const maf::MafDie& die() const { return die_; }
   [[nodiscard]] maf::Package& package() { return package_; }
@@ -159,6 +167,7 @@ class CtaAnemometer {
 
  private:
   void control_update();
+  void note_frame_boundary();
 
   CtaConfig config_;
   maf::MafDie die_;
@@ -191,6 +200,11 @@ class CtaAnemometer {
   bool phase_on_ = true;
   bool was_on_ = true;
   bool output_primed_ = false;
+
+  // Blackbox + the edge detectors feeding it (see flight()).
+  mutable obs::FlightRecorder flight_{64};
+  bool pi_saturated_ = false;
+  bool adc_overload_prev_ = false;
 };
 
 }  // namespace aqua::cta

@@ -3,9 +3,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
 namespace aqua::cta {
 
-std::string fault_name(FaultCode code) {
+const char* fault_label(FaultCode code) {
   switch (code) {
     case FaultCode::kMembraneBroken: return "membrane-broken";
     case FaultCode::kPackageDegraded: return "package-degraded";
@@ -18,6 +21,8 @@ std::string fault_name(FaultCode code) {
   }
   return "unknown";
 }
+
+std::string fault_name(FaultCode code) { return fault_label(code); }
 
 HealthMonitor::HealthMonitor(const HealthConfig& config) : config_(config) {
   if (config.range_max.value() <= 0.0 || config.max_rate_mps_per_s <= 0.0 ||
@@ -52,6 +57,22 @@ std::vector<FaultCode> HealthMonitor::assess(const CtaAnemometer& anemometer,
   }
   prev_speed_ = v;
   have_prev_ = true;
+
+  // Every fault goes into the sensor's blackbox; the healthy→faulty edge
+  // additionally dumps it, so the history *around* the first latch reaches
+  // the operator before the ring moves on.
+  for (FaultCode code : faults)
+    anemometer.flight().record(anemometer.now().value(),
+                               obs::FlightRecordKind::kFault,
+                               static_cast<std::int32_t>(code), v,
+                               fault_label(code));
+  if (!faults.empty() && healthy_) {
+    AQUA_TRACE_INSTANT_SIM("health.fault_latched", anemometer.now().value());
+    util::log_warn() << "health: fault latched at t="
+                     << anemometer.now().value() << " s ("
+                     << fault_name(faults.front()) << "); flight recorder:\n"
+                     << anemometer.flight().dump_text();
+  }
   healthy_ = faults.empty();
   return faults;
 }

@@ -25,6 +25,10 @@ enum class FaultCode {
   kStuckReading,     ///< reading frozen while the loop runs (dead channel)
 };
 
+/// Stable label with static storage duration — safe to keep as a pointer
+/// (flight-recorder events store it uncopied).
+[[nodiscard]] const char* fault_label(FaultCode code);
+
 [[nodiscard]] std::string fault_name(FaultCode code);
 
 struct HealthConfig {
@@ -43,7 +47,11 @@ class HealthMonitor {
   explicit HealthMonitor(const HealthConfig& config = {});
 
   /// Evaluates all checks against the current loop state and reading.
-  /// `dt` is the time since the previous assessment.
+  /// `dt` is the time since the previous assessment. Each fault is also
+  /// appended to the anemometer's flight recorder, and on the healthy→faulty
+  /// transition the blackbox is dumped to the warn log (and mirrored onto the
+  /// trace timeline when tracing is enabled) — the paper's §6 requirement
+  /// that a malfunction be "immediately localized".
   [[nodiscard]] std::vector<FaultCode> assess(const CtaAnemometer& anemometer,
                                               const FlowReading& reading,
                                               util::Seconds dt);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace aqua::cta {
 
 using hydro::WaterNetwork;
@@ -17,6 +19,7 @@ LeakLocalizer::LeakLocalizer(WaterNetwork& network,
 }
 
 void LeakLocalizer::calibrate() {
+  AQUA_TRACE_SPAN("leak.calibrate");
   if (!net_.solve()) throw std::runtime_error("LeakLocalizer: baseline solve failed");
   baseline_.clear();
   for (auto p : sensors_) baseline_.push_back(net_.pipe_velocity(p).value());
@@ -65,6 +68,7 @@ bool LeakLocalizer::leak_detected(std::span<const double> measured) const {
 
 std::vector<LeakHypothesis> LeakLocalizer::locate(
     std::span<const double> measured) const {
+  AQUA_TRACE_SPAN("leak.locate");
   if (measured.size() != sensors_.size())
     throw std::invalid_argument("LeakLocalizer: measurement size mismatch");
   if (signatures_.empty())

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phys/fluid.hpp"
 
 namespace aqua::fleet {
@@ -95,6 +96,7 @@ void FleetEngine::dispatch(util::ThreadPool* pool,
 }
 
 void FleetEngine::commission(Seconds settle, util::ThreadPool* pool) {
+  AQUA_TRACE_SPAN_SIM("fleet.commission", t_.value());
   std::vector<PipeState> states;
   states.reserve(nodes_.size());
   for (const auto& node : nodes_) states.push_back(pipe_state_for(*node));
@@ -103,6 +105,7 @@ void FleetEngine::commission(Seconds settle, util::ThreadPool* pool) {
 
 void FleetEngine::calibrate(std::span<const double> mean_speeds, Seconds dwell,
                             util::ThreadPool* pool) {
+  AQUA_TRACE_SPAN_SIM("fleet.calibrate", t_.value());
   std::vector<PipeState> states;
   states.reserve(nodes_.size());
   for (const auto& node : nodes_) states.push_back(pipe_state_for(*node));
@@ -121,16 +124,24 @@ void FleetEngine::run(Seconds duration, util::ThreadPool* pool) {
   std::vector<PipeState> states(nodes_.size());
   for (long long e = 0; e < epochs; ++e) {
     const obs::ScopedTimer epoch_timer{kEpochWall};
+    AQUA_TRACE_SPAN_SIM("fleet.epoch", t_.value());
+    AQUA_TRACE_COUNTER("fleet.sim_time_s", t_.value());
     apply_demand_factor(config_.demand_factor.at(t_));
-    if (!net_.solve(config_.water_temperature)) {
-      ++solve_failures_;
-      kSolveFailures.add(1);
+    {
+      AQUA_TRACE_SPAN_SIM("fleet.solve", t_.value());
+      if (!net_.solve(config_.water_temperature)) {
+        ++solve_failures_;
+        kSolveFailures.add(1);
+        AQUA_TRACE_INSTANT_SIM("fleet.solve_failure", t_.value());
+      }
     }
     // Snapshot serially so every sensor task reads a frozen network state.
     for (std::size_t i = 0; i < nodes_.size(); ++i)
       states[i] = pipe_state_for(*nodes_[i]);
     dispatch(pool, [&](std::size_t i) {
       const obs::ScopedTimer step_timer{kSensorStepWall};
+      const obs::ScopedSpan sensor_span{"fleet.sensor", t_.value(),
+                                        static_cast<double>(i)};
       nodes_[i]->advance(states[i], config_.epoch);
       kSensorSteps.add(1);
     });

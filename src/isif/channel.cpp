@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace aqua::isif {
 
@@ -42,6 +43,15 @@ ChannelSample InputChannel::make_sample(double normalised) {
   ChannelSample sample{code, adc_input_volts / amp_.gain(), overload_latch_};
   kSamples.add(1);
   if (overload_latch_) kOverloadBlocks.add(1);
+  // Overload *episodes* (runs of overloaded frames) on the trace timeline;
+  // the counter above already totals the individual blocks.
+  if (overload_latch_ != overload_episode_) {
+    if (overload_latch_)
+      AQUA_TRACE_INSTANT("isif.channel.overload_begin");
+    else
+      AQUA_TRACE_INSTANT("isif.channel.overload_end");
+    overload_episode_ = overload_latch_;
+  }
   overload_latch_ = false;
   return sample;
 }
@@ -126,6 +136,7 @@ void InputChannel::reset() {
   adc_.reset();
   cic_.reset();
   overload_latch_ = false;
+  overload_episode_ = false;
   frame_phase_ = 0;
 }
 

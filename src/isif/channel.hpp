@@ -85,6 +85,7 @@ class InputChannel {
   analog::SigmaDeltaModulator adc_;
   dsp::CicDecimator cic_;
   bool overload_latch_ = false;
+  bool overload_episode_ = false;  // edge detector for trace instants only
   int frame_phase_ = 0;
 };
 

@@ -1,0 +1,154 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace aqua::obs {
+namespace {
+
+constexpr int kPid = 1;
+
+std::string quote(std::string_view s) {
+  return "\"" + escape_json_string(s) + "\"";
+}
+
+/// Microseconds with sub-µs precision, relative to the snapshot origin.
+std::string fmt_ts(std::uint64_t wall_ns, std::uint64_t origin_ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f",
+                static_cast<double>(wall_ns - origin_ns) / 1e3);
+  return buf;
+}
+
+std::string args_json(double sim_s, bool with_value = false,
+                      double value = 0.0) {
+  std::string out = "{";
+  bool first = true;
+  if (sim_s != kNoSimTime) {
+    out += "\"sim_s\": " + json_double(sim_s);
+    first = false;
+  }
+  if (with_value) {
+    if (!first) out += ", ";
+    out += "\"value\": " + json_double(value);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+void append_event(std::string& out, bool& first, const std::string& body) {
+  if (!first) out += ",";
+  out += "\n    " + body;
+  first = false;
+}
+
+}  // namespace
+
+std::string to_chrome_json(const TraceSnapshot& snapshot) {
+  // Normalise timestamps so the trace starts near t=0 regardless of the
+  // steady clock's arbitrary epoch.
+  std::uint64_t origin_ns = std::numeric_limits<std::uint64_t>::max();
+  for (const TraceTrack& track : snapshot.tracks)
+    for (const TraceEvent& ev : track.events)
+      origin_ns = std::min(origin_ns, ev.wall_ns);
+  if (origin_ns == std::numeric_limits<std::uint64_t>::max()) origin_ns = 0;
+
+  std::string out = "{\n  \"traceEvents\": [";
+  bool first = true;
+
+  append_event(out, first,
+               "{\"ph\": \"M\", \"pid\": " + std::to_string(kPid) +
+                   ", \"name\": \"process_name\", \"args\": {\"name\": "
+                   "\"aquacta\"}}");
+
+  for (const TraceTrack& track : snapshot.tracks) {
+    const std::string tid = std::to_string(track.tid);
+    const std::string thread_name =
+        track.name.empty() ? "thread-" + tid : track.name;
+    append_event(out, first,
+                 "{\"ph\": \"M\", \"pid\": " + std::to_string(kPid) +
+                     ", \"tid\": " + tid +
+                     ", \"name\": \"thread_name\", \"args\": {\"name\": " +
+                     quote(thread_name) + "}}");
+
+    // Match begin/end pairs into complete ("X") events. Spans nest properly
+    // on a single thread (they come from RAII scopes), so a stack suffices.
+    // Orphans are a fact of life with drop-oldest rings: an end whose begin
+    // was overwritten is discarded; a begin whose end fell outside the
+    // snapshot is closed at the track's last timestamp.
+    struct OpenSpan {
+      const TraceEvent* begin;
+    };
+    std::vector<OpenSpan> stack;
+    const std::uint64_t last_ns =
+        track.events.empty() ? origin_ns : track.events.back().wall_ns;
+
+    auto emit_complete = [&](const TraceEvent& begin, std::uint64_t end_ns) {
+      char dur[48];
+      std::snprintf(dur, sizeof dur, "%.3f",
+                    static_cast<double>(end_ns - begin.wall_ns) / 1e3);
+      append_event(out, first,
+                   "{\"ph\": \"X\", \"pid\": " + std::to_string(kPid) +
+                       ", \"tid\": " + tid + ", \"name\": " +
+                       quote(begin.name != nullptr ? begin.name : "?") +
+                       ", \"ts\": " + fmt_ts(begin.wall_ns, origin_ns) +
+                       ", \"dur\": " + dur +
+                       ", \"args\": " + args_json(begin.sim_s) + "}");
+    };
+
+    for (const TraceEvent& ev : track.events) {
+      switch (ev.kind) {
+        case TraceEventKind::kSpanBegin:
+          stack.push_back(OpenSpan{&ev});
+          break;
+        case TraceEventKind::kSpanEnd:
+          if (!stack.empty()) {
+            emit_complete(*stack.back().begin, ev.wall_ns);
+            stack.pop_back();
+          }
+          break;
+        case TraceEventKind::kInstant:
+          append_event(
+              out, first,
+              "{\"ph\": \"i\", \"s\": \"t\", \"pid\": " + std::to_string(kPid) +
+                  ", \"tid\": " + tid + ", \"name\": " +
+                  quote(ev.name != nullptr ? ev.name : "?") +
+                  ", \"ts\": " + fmt_ts(ev.wall_ns, origin_ns) +
+                  ", \"args\": " + args_json(ev.sim_s) + "}");
+          break;
+        case TraceEventKind::kCounter:
+          append_event(
+              out, first,
+              "{\"ph\": \"C\", \"pid\": " + std::to_string(kPid) +
+                  ", \"tid\": " + tid + ", \"name\": " +
+                  quote(ev.name != nullptr ? ev.name : "?") +
+                  ", \"ts\": " + fmt_ts(ev.wall_ns, origin_ns) +
+                  ", \"args\": " + args_json(ev.sim_s, true, ev.value) + "}");
+          break;
+      }
+    }
+    while (!stack.empty()) {
+      emit_complete(*stack.back().begin, last_ns);
+      stack.pop_back();
+    }
+  }
+
+  out += "\n  ],\n";
+  out += "  \"displayTimeUnit\": \"ms\",\n";
+  out += "  \"otherData\": {\"dropped_events\": " +
+         std::to_string(snapshot.dropped_total) + "}\n";
+  out += "}";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        const TraceSnapshot& snapshot) {
+  write_file(path, to_chrome_json(snapshot));
+}
+
+}  // namespace aqua::obs

@@ -1,0 +1,29 @@
+// chrome_trace.hpp — renders a TraceSnapshot as Chrome trace-event JSON
+// (the "JSON Object Format": {"traceEvents": [...], ...}) loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Mapping:
+//  * span begin/end pairs are matched per track into "X" (complete) events —
+//    robust against drop-oldest: orphaned ends are discarded, still-open
+//    begins are closed at the track's last timestamp;
+//  * instants become "i" events (thread-scoped);
+//  * counter samples become "C" events, which Perfetto draws as a graph —
+//    the fleet engine's "fleet.sim_time_s" counter is the sim-time track;
+//  * each track gets a thread_name metadata event; the process is "aquacta".
+// Timestamps are microseconds relative to the earliest event in the
+// snapshot; events carry a "sim_s" arg where the site knew simulation time.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace aqua::obs {
+
+[[nodiscard]] std::string to_chrome_json(const TraceSnapshot& snapshot);
+
+/// Serialises `snapshot` with to_chrome_json and writes it to `path`
+/// (truncating). Throws std::runtime_error on I/O failure.
+void write_chrome_trace(const std::string& path, const TraceSnapshot& snapshot);
+
+}  // namespace aqua::obs

@@ -1,0 +1,96 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace aqua::obs {
+
+const char* flight_kind_name(FlightRecordKind kind) {
+  switch (kind) {
+    case FlightRecordKind::kFault:
+      return "FAULT";
+    case FlightRecordKind::kPiSaturationEnter:
+      return "PI_SAT_ENTER";
+    case FlightRecordKind::kPiSaturationExit:
+      return "PI_SAT_EXIT";
+    case FlightRecordKind::kAdcOverloadEnter:
+      return "ADC_OVERLOAD_ENTER";
+    case FlightRecordKind::kAdcOverloadExit:
+      return "ADC_OVERLOAD_EXIT";
+    case FlightRecordKind::kDriveOn:
+      return "DRIVE_ON";
+    case FlightRecordKind::kDriveOff:
+      return "DRIVE_OFF";
+    case FlightRecordKind::kCommission:
+      return "COMMISSION";
+    case FlightRecordKind::kReset:
+      return "RESET";
+  }
+  return "UNKNOWN";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+void FlightRecorder::record(double t_s, FlightRecordKind kind,
+                            std::int32_t code, double value,
+                            const char* label) {
+  FlightEvent& slot = ring_[write_ % ring_.size()];
+  slot.t_s = t_s;
+  slot.kind = kind;
+  slot.code = code;
+  slot.value = value;
+  slot.label = label;
+  ++write_;
+  if (write_ > ring_.size()) dropped_ = write_ - ring_.size();
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  const std::uint64_t count =
+      std::min<std::uint64_t>(write_, ring_.size());
+  const std::uint64_t begin = write_ - count;
+  std::vector<FlightEvent> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = begin; i < write_; ++i)
+    out.push_back(ring_[i % ring_.size()]);
+  return out;
+}
+
+std::size_t FlightRecorder::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(write_, ring_.size()));
+}
+
+void FlightRecorder::clear() {
+  write_ = 0;
+  dropped_ = 0;
+}
+
+std::string FlightRecorder::dump_text(const std::string& header) const {
+  std::string out;
+  if (!header.empty()) {
+    out += header;
+    out += '\n';
+  }
+  char line[160];
+  if (dropped_ > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  ... %llu earlier event(s) dropped (ring wrapped)\n",
+                  static_cast<unsigned long long>(dropped_));
+    out += line;
+  }
+  for (const FlightEvent& ev : events()) {
+    std::snprintf(line, sizeof(line), "  t=%12.6f s  %-18s code=%-4d v=%g",
+                  ev.t_s, flight_kind_name(ev.kind), ev.code, ev.value);
+    out += line;
+    if (ev.label != nullptr) {
+      out += "  ";
+      out += ev.label;
+    }
+    out += '\n';
+  }
+  if (size() == 0) out += "  (empty)\n";
+  return out;
+}
+
+}  // namespace aqua::obs

@@ -1,0 +1,75 @@
+// flight.hpp — per-sensor flight recorder: a tiny always-on blackbox ring of
+// the loop events that matter when a deployed node misbehaves (fault codes,
+// PI saturation entry/exit, ADC overload episodes, pulsed-drive phase
+// changes, commissioning/reset marks). Where the TraceRecorder answers "what
+// was the *process* doing", the flight recorder answers "what did *this
+// sensor* live through" — and it keeps answering after the trace rings have
+// wrapped, because fault-adjacent events are rare.
+//
+// Determinism contract (DESIGN.md §8/§10): events are stamped with simulation
+// time only — no wall clock, no RNG, no allocation after construction — so
+// recording is itself bit-reproducible and two runs of the same seed produce
+// identical blackboxes. Single-threaded by design: a sensor is owned by one
+// thread at a time (the fleet engine's dispatch guarantees this), so no
+// atomics are needed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aqua::obs {
+
+enum class FlightRecordKind : std::uint8_t {
+  kFault = 0,              ///< HealthMonitor raised a fault code
+  kPiSaturationEnter = 1,  ///< controller output pinned at a rail
+  kPiSaturationExit = 2,
+  kAdcOverloadEnter = 3,   ///< ISIF channel reported clipping this frame
+  kAdcOverloadExit = 4,
+  kDriveOn = 5,            ///< pulsed-drive heater phase transitions
+  kDriveOff = 6,
+  kCommission = 7,         ///< commissioning completed (value = iterations)
+  kReset = 8,              ///< sensor reset to bootstrap state
+};
+
+[[nodiscard]] const char* flight_kind_name(FlightRecordKind kind);
+
+/// One blackbox entry. `label` must be a string literal (or otherwise
+/// immortal) — the recorder stores the pointer, never a copy.
+struct FlightEvent {
+  double t_s = 0.0;  ///< simulation time of the event
+  FlightRecordKind kind = FlightRecordKind::kFault;
+  std::int32_t code = 0;  ///< fault code / phase detail, kind-specific
+  double value = 0.0;     ///< kind-specific payload (e.g. rail the PI hit)
+  const char* label = nullptr;  ///< optional human-readable note
+};
+
+/// Fixed-capacity drop-oldest event ring. Capacity is set at construction
+/// and all storage is preallocated; record() never allocates or throws.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 64);
+
+  void record(double t_s, FlightRecordKind kind, std::int32_t code = 0,
+              double value = 0.0, const char* label = nullptr);
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  void clear();
+
+  /// Renders the blackbox as a human-readable table, one event per line,
+  /// prefixed with `header` when non-empty. Intended for fault-latch dumps
+  /// and `examples/diagnostics`.
+  [[nodiscard]] std::string dump_text(const std::string& header = {}) const;
+
+ private:
+  std::vector<FlightEvent> ring_;
+  std::uint64_t write_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace aqua::obs

@@ -6,24 +6,58 @@
 
 namespace aqua::obs {
 
-namespace {
+std::string escape_json_string(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
 
-std::string fmt_double(double v) {
+std::string json_double(double v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
 }
 
+namespace {
+
+std::string fmt_double(double v) { return json_double(v); }
+
 std::string quote(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    // Metric names are plain dotted identifiers; escape just enough to stay
-    // valid JSON if someone registers an exotic name.
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  out.push_back('"');
-  return out;
+  return "\"" + escape_json_string(s) + "\"";
 }
 
 class Writer {

@@ -1,0 +1,114 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace aqua::obs {
+namespace {
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::atomic<bool> TraceRecorder::enabled_{false};
+
+TraceRecorder& TraceRecorder::instance() {
+  // Leaked on purpose: worker threads may emit during process teardown, after
+  // static destructors would have run (same lifetime trick as obs::Registry).
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::Ring& TraceRecorder::local_ring() {
+  thread_local Ring* ring = nullptr;
+  if (ring == nullptr) {
+    auto owned = std::make_unique<Ring>();
+    ring = owned.get();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ring->tid = next_tid_++;
+    rings_.push_back(std::move(owned));
+  }
+  return *ring;
+}
+
+void TraceRecorder::emit(TraceEventKind kind, const char* name, double sim_s,
+                         double value) {
+  Ring& ring = local_ring();
+  const std::uint64_t w = ring.write.load(std::memory_order_relaxed);
+  TraceEvent& slot = ring.events[w % kRingCapacity];
+  slot.wall_ns = wall_now_ns();
+  slot.sim_s = sim_s;
+  slot.value = value;
+  slot.name = name;
+  slot.kind = kind;
+  // Release so a concurrent snapshot that observes index w+1 also observes
+  // the slot contents; the writer itself never synchronises on anything.
+  ring.write.store(w + 1, std::memory_order_release);
+}
+
+void TraceRecorder::set_thread_name(std::string_view name) {
+  if (!enabled()) return;
+  TraceRecorder& rec = instance();
+  Ring& ring = rec.local_ring();
+  const std::lock_guard<std::mutex> lock(rec.mutex_);
+  ring.name.assign(name);
+}
+
+const char* TraceRecorder::intern(std::string_view text) {
+  static const char kOverflow[] = "trace.intern_overflow";
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& s : interned_)
+    if (*s == text) return s->c_str();
+  if (interned_.size() >= kMaxInterned) return kOverflow;
+  interned_.push_back(std::make_unique<std::string>(text));
+  return interned_.back()->c_str();
+}
+
+TraceSnapshot TraceRecorder::snapshot() {
+  TraceSnapshot snap;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snap.tracks.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    const std::uint64_t end = ring->write.load(std::memory_order_acquire);
+    const std::uint64_t count = std::min<std::uint64_t>(end, kRingCapacity);
+    const std::uint64_t begin = end - count;
+
+    TraceTrack track;
+    track.tid = ring->tid;
+    track.name = ring->name;
+    track.events.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = begin; i < end; ++i)
+      track.events.push_back(ring->events[i % kRingCapacity]);
+
+    // The writer may have lapped us during the copy; anything it overtook is
+    // possibly torn, so re-read the index and discard the stale prefix.
+    const std::uint64_t end2 = ring->write.load(std::memory_order_acquire);
+    const std::uint64_t safe_begin =
+        end2 > kRingCapacity ? end2 - kRingCapacity : 0;
+    if (safe_begin > begin) {
+      const std::uint64_t stale =
+          std::min<std::uint64_t>(safe_begin - begin, count);
+      track.events.erase(track.events.begin(),
+                         track.events.begin() + static_cast<std::ptrdiff_t>(stale));
+      track.dropped = safe_begin;
+    } else {
+      track.dropped = begin;
+    }
+    snap.dropped_total += track.dropped;
+    snap.tracks.push_back(std::move(track));
+  }
+  return snap;
+}
+
+void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ring : rings_)
+    ring->write.store(0, std::memory_order_release);
+}
+
+}  // namespace aqua::obs

@@ -34,8 +34,10 @@ class Trace {
   [[nodiscard]] double mean_between(const std::string& channel, util::Seconds t0,
                                     util::Seconds t1) const;
 
-  /// Writes all channels resampled on the union of their sample times is not
-  /// attempted; channels are written as (time, value) column pairs.
+  /// Writes each channel as its own CSV block — a `t_<name>,<name>` header
+  /// row, then one `time,value` row per sample, then a blank line. Channels
+  /// may have different lengths; resampling onto a shared time axis is not
+  /// attempted. Throws std::runtime_error if the file cannot be opened.
   void write_csv(const std::string& path) const;
 
   void clear();

@@ -1,12 +1,29 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
+
+#include "obs/trace.hpp"
 
 namespace aqua::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+/// Initial threshold: `AQUA_LOG_LEVEL` when set to a valid level name,
+/// kInfo otherwise (including on unrecognised values — a bad env var must
+/// not silence a tool that relies on its warnings).
+LogLevel initial_level() {
+  if (const char* env = std::getenv("AQUA_LOG_LEVEL"))
+    if (const auto parsed = log_level_from_string(env)) return *parsed;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& level_atomic() {
+  static std::atomic<LogLevel> g_level{initial_level()};
+  return g_level;
+}
 
 const char* prefix(LogLevel level) {
   switch (level) {
@@ -20,12 +37,35 @@ const char* prefix(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+std::optional<LogLevel> log_level_from_string(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text)
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void set_log_level(LogLevel level) { level_atomic().store(level); }
+LogLevel log_level() { return level_atomic().load(); }
 
 void log_line(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  if (static_cast<int>(level) < static_cast<int>(level_atomic().load())) return;
   std::cerr << prefix(level) << message << '\n';
+  // Warnings and errors are rare and load-bearing, so when tracing is live
+  // they also land on the timeline — a fault dump shows up right where the
+  // epoch/solve spans say the fleet was.
+  if (level >= LogLevel::kWarn && level < LogLevel::kOff &&
+      obs::TraceRecorder::enabled()) {
+    auto& recorder = obs::TraceRecorder::instance();
+    recorder.emit(obs::TraceEventKind::kInstant,
+                  recorder.intern(std::string(prefix(level)) + message));
+  }
 }
 
 }  // namespace aqua::util

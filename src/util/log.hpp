@@ -2,12 +2,21 @@
 // Deliberately tiny: a global level, a printf-free streaming call site.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace aqua::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Parses a level name ("debug", "info", "warn"/"warning", "error", "off",
+/// any case); nullopt when unrecognised. This is the `AQUA_LOG_LEVEL`
+/// environment syntax — the variable, when set to a valid name, provides the
+/// initial global threshold instead of the kInfo default.
+[[nodiscard]] std::optional<LogLevel> log_level_from_string(
+    std::string_view text);
 
 /// Sets the global threshold; messages below it are dropped.
 void set_log_level(LogLevel level);

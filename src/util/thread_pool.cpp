@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace aqua::util {
 
@@ -87,6 +88,7 @@ bool ThreadPool::try_steal(std::size_t thief, Task& out) {
     victim.queue.pop_back();
     queued_.fetch_sub(1);
     kSteals.add(1);
+    AQUA_TRACE_INSTANT("pool.steal");
     return true;
   }
   return false;
@@ -95,10 +97,14 @@ bool ThreadPool::try_steal(std::size_t thief, Task& out) {
 void ThreadPool::worker_loop(std::size_t index) {
   tl_pool = this;
   tl_worker_index = index;
+  obs::TraceRecorder::set_thread_name("pool-" + std::to_string(index));
   for (;;) {
     Task task;
     if (try_pop_local(index, task) || try_steal(index, task)) {
-      task();  // packaged_task captures any exception into its future
+      {
+        AQUA_TRACE_SPAN("pool.task");
+        task();  // packaged_task captures any exception into its future
+      }
       kTasks.add(1);
       if (in_flight_.fetch_sub(1) == 1) {
         std::lock_guard lock{wake_mutex_};

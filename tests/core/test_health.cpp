@@ -121,6 +121,45 @@ TEST(Health, FaultNamesDistinct) {
   EXPECT_NE(fault_name(FaultCode::kRangeHigh), fault_name(FaultCode::kRangeLow));
 }
 
+TEST(Health, FaultLatchFillsFlightRecorder) {
+  // The blackbox contract: assess() writes every raised fault code into the
+  // sensor's own flight recorder, so a latched fault always leaves a
+  // non-empty, human-readable dump behind (the acceptance path diagnostics
+  // walks in examples/diagnostics.cpp).
+  util::Rng rng{9};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  anemo.run(Seconds{0.3}, water(0.5, 120.0));  // overpressure -> membrane
+  HealthMonitor monitor;
+  const auto faults = monitor.assess(anemo, reading_of(0.5), Seconds{0.1});
+  ASSERT_TRUE(has(faults, FaultCode::kMembraneBroken));
+  EXPECT_FALSE(monitor.healthy());
+
+  const auto events = anemo.flight().events();
+  ASSERT_FALSE(events.empty());
+  bool fault_recorded = false;
+  for (const auto& e : events)
+    if (e.kind == obs::FlightRecordKind::kFault &&
+        e.code == static_cast<int>(FaultCode::kMembraneBroken))
+      fault_recorded = true;
+  EXPECT_TRUE(fault_recorded);
+
+  const std::string dump = anemo.flight().dump_text();
+  EXPECT_FALSE(dump.empty());
+  EXPECT_NE(dump.find("FAULT"), std::string::npos);
+  EXPECT_NE(dump.find("membrane-broken"), std::string::npos);
+}
+
+TEST(Health, FaultLabelMatchesFaultName) {
+  // fault_label() is the static-storage variant the flight recorder stores
+  // uncopied; it must agree with the std::string API verbatim.
+  for (const auto code :
+       {FaultCode::kMembraneBroken, FaultCode::kRangeHigh,
+        FaultCode::kRangeLow, FaultCode::kRateLimit,
+        FaultCode::kStuckReading}) {
+    EXPECT_EQ(fault_name(code), fault_label(code));
+  }
+}
+
 TEST(Health, Validation) {
   HealthConfig bad{};
   bad.stuck_count = 1;

@@ -13,6 +13,7 @@
 #include "core/rig.hpp"
 #include "fleet/fleet.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace aqua::fleet {
@@ -155,6 +156,23 @@ TEST(FleetDeterminism, MetricsCollectionDoesNotPerturbTraces) {
   expect_bit_identical(instrumented_serial, dark, "metrics on vs off");
   expect_bit_identical(instrumented_serial, instrumented_pool,
                        "metrics on, serial vs 8 threads");
+}
+
+TEST(FleetDeterminism, TracingEnabledDoesNotPerturbTraces) {
+  // Same hard guarantee for the event tracer: spans, instants and counters
+  // are emitted into per-thread rings the datapath never reads back, so the
+  // sensor traces are bit-identical with the recorder on or off — and with
+  // it on, serial vs an 8-thread pool (tracing is off by default, so the
+  // other determinism tests already pin the off-path).
+  obs::TraceRecorder::set_enabled(true);
+  const auto traced_serial = run_traces(0, 42);
+  const auto traced_pool = run_traces(8, 42);
+  obs::TraceRecorder::set_enabled(false);
+  const auto dark = run_traces(0, 42);
+  obs::TraceRecorder::instance().clear();
+  expect_bit_identical(traced_serial, dark, "tracing on vs off");
+  expect_bit_identical(traced_serial, traced_pool,
+                       "tracing on, serial vs 8 threads");
 }
 
 std::uint64_t scrape_counter(const std::string& name) {

@@ -1,0 +1,139 @@
+// json_validate.hpp — a minimal recursive-descent JSON syntax checker for
+// exporter tests. Validates structure only (no schema, no number range
+// checks); returns true iff the whole input is exactly one valid JSON value.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <string_view>
+
+namespace aqua::testing {
+
+class JsonValidator {
+ public:
+  static bool valid(std::string_view text) {
+    JsonValidator v{text};
+    v.skip_ws();
+    if (!v.value()) return false;
+    v.skip_ws();
+    return v.pos_ == v.text_.size();
+  }
+
+ private:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  bool value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        const char esc = peek();
+        if (esc == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i)
+            if (std::isxdigit(static_cast<unsigned char>(peek())) == 0)
+              return false;
+            else
+              ++pos_;
+          continue;
+        }
+        if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+            esc != 'f' && esc != 'n' && esc != 'r' && esc != 't')
+          return false;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace aqua::testing

@@ -1,0 +1,82 @@
+// Unit tests for obs::FlightRecorder: ring drop-oldest semantics, event
+// payloads, text dump rendering, and clear().
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/flight.hpp"
+
+namespace {
+
+using namespace aqua;
+using K = obs::FlightRecordKind;
+
+TEST(FlightRecorder, StartsEmpty) {
+  const obs::FlightRecorder flight{8};
+  EXPECT_EQ(flight.size(), 0u);
+  EXPECT_EQ(flight.dropped(), 0u);
+  EXPECT_TRUE(flight.events().empty());
+  EXPECT_NE(flight.dump_text().find("(empty)"), std::string::npos);
+}
+
+TEST(FlightRecorder, RecordsPayloadsInOrder) {
+  obs::FlightRecorder flight{8};
+  flight.record(1.0, K::kDriveOn);
+  flight.record(2.0, K::kFault, 3, 0.0, "membrane broken");
+  flight.record(3.0, K::kPiSaturationEnter, 0, 4.9);
+
+  const auto events = flight.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_DOUBLE_EQ(events[0].t_s, 1.0);
+  EXPECT_EQ(events[0].kind, K::kDriveOn);
+  EXPECT_EQ(events[1].code, 3);
+  EXPECT_STREQ(events[1].label, "membrane broken");
+  EXPECT_DOUBLE_EQ(events[2].value, 4.9);
+}
+
+TEST(FlightRecorder, DropsOldestPastCapacity) {
+  obs::FlightRecorder flight{4};
+  for (int i = 0; i < 10; ++i)
+    flight.record(static_cast<double>(i), K::kDriveOn, i);
+
+  EXPECT_EQ(flight.size(), 4u);
+  EXPECT_EQ(flight.dropped(), 6u);
+  const auto events = flight.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().code, 6);  // oldest survivor
+  EXPECT_EQ(events.back().code, 9);
+}
+
+TEST(FlightRecorder, DumpTextContainsHeaderKindsAndDropNote) {
+  obs::FlightRecorder flight{2};
+  flight.record(0.5, K::kAdcOverloadEnter);
+  flight.record(0.75, K::kAdcOverloadExit);
+  flight.record(1.25, K::kFault, 7, 0.0, "stuck drive");
+
+  const std::string dump = flight.dump_text("sensor 17 blackbox:");
+  EXPECT_NE(dump.find("sensor 17 blackbox:"), std::string::npos);
+  EXPECT_NE(dump.find("ADC_OVERLOAD_EXIT"), std::string::npos);
+  EXPECT_NE(dump.find("FAULT"), std::string::npos);
+  EXPECT_NE(dump.find("stuck drive"), std::string::npos);
+  EXPECT_NE(dump.find("1 earlier event(s) dropped"), std::string::npos);
+  // The overwritten entry must be gone.
+  EXPECT_EQ(dump.find("ADC_OVERLOAD_ENTER"), std::string::npos);
+}
+
+TEST(FlightRecorder, ClearResetsEverything) {
+  obs::FlightRecorder flight{2};
+  for (int i = 0; i < 5; ++i) flight.record(0.0, K::kReset);
+  flight.clear();
+  EXPECT_EQ(flight.size(), 0u);
+  EXPECT_EQ(flight.dropped(), 0u);
+  EXPECT_TRUE(flight.events().empty());
+}
+
+TEST(FlightRecorder, KindNamesCoverAllKinds) {
+  EXPECT_STREQ(obs::flight_kind_name(K::kFault), "FAULT");
+  EXPECT_STREQ(obs::flight_kind_name(K::kCommission), "COMMISSION");
+  EXPECT_STREQ(obs::flight_kind_name(K::kReset), "RESET");
+  EXPECT_STREQ(obs::flight_kind_name(K::kDriveOff), "DRIVE_OFF");
+}
+
+}  // namespace

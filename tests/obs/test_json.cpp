@@ -1,0 +1,100 @@
+// Edge-case tests for obs::to_json, built on synthetic Snapshots (the
+// registry's fixed capacity is left alone): names that need JSON escaping,
+// empty-histogram min/max emission, and round-trip-exact double formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "json_validate.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using namespace aqua;
+
+TEST(ObsJsonEscaping, QuoteBackslashAndControlCharsInNames) {
+  obs::Snapshot snap;
+  snap.counters.push_back({"quote\"in\\name", 1});
+  snap.counters.push_back({"tab\tnewline\ncr\r", 2});
+  std::string nul_name = "bell\x07null";
+  nul_name += '\0';
+  nul_name += "byte";
+  snap.counters.push_back({nul_name, 3});
+  snap.gauges.push_back({"backspace\bformfeed\f", 4.5});
+
+  const std::string json = obs::to_json(snap);
+  EXPECT_TRUE(aqua::testing::JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("quote\\\"in\\\\name"), std::string::npos);
+  EXPECT_NE(json.find("tab\\tnewline\\ncr\\r"), std::string::npos);
+  EXPECT_NE(json.find("bell\\u0007null\\u0000byte"), std::string::npos);
+  EXPECT_NE(json.find("backspace\\bformfeed\\f"), std::string::npos);
+  // No raw control characters may survive into the output.
+  for (char c : json)
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n')
+        << "raw control char 0x" << std::hex
+        << static_cast<unsigned>(static_cast<unsigned char>(c));
+}
+
+TEST(ObsJsonEscaping, EscapeJsonStringIsExposedDirectly) {
+  EXPECT_EQ(obs::escape_json_string("plain.name"), "plain.name");
+  EXPECT_EQ(obs::escape_json_string("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::escape_json_string("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::escape_json_string(std::string_view("\x01\x1f", 2)),
+            "\\u0001\\u001f");
+}
+
+TEST(ObsJsonHistogram, EmptyHistogramEmitsZeroMinMax) {
+  obs::Snapshot snap;
+  obs::HistogramSnapshot hist;
+  hist.name = "empty.hist";
+  hist.upper_edges = {1.0, 10.0};
+  hist.counts = {0, 0, 0};
+  hist.count = 0;
+  hist.sum = 0.0;
+  // Registry initialises min/max to +inf/-inf before the first observe;
+  // the exporter must not leak non-finite values into JSON.
+  hist.min = std::numeric_limits<double>::infinity();
+  hist.max = -std::numeric_limits<double>::infinity();
+  snap.histograms.push_back(hist);
+
+  const std::string json = obs::to_json(snap);
+  EXPECT_TRUE(aqua::testing::JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"min\": 0,"), std::string::npos);
+  EXPECT_NE(json.find("\"max\": 0"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(ObsJsonDoubles, RoundTripExactFormatting) {
+  const double cases[] = {0.1,
+                          1.0 / 3.0,
+                          1e-308,
+                          1.7976931348623157e308,
+                          -2.2250738585072014e-308,
+                          123456789.123456789,
+                          std::nextafter(1.0, 2.0)};
+  for (double v : cases) {
+    const std::string text = obs::json_double(v);
+    const double back = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0)
+        << text << " did not round-trip";
+  }
+}
+
+TEST(ObsJsonDoubles, GaugeValuesRoundTripThroughFullExport) {
+  const double v = 0.30000000000000004;  // classic 0.1+0.2 artefact
+  obs::Snapshot snap;
+  snap.gauges.push_back({"precise.gauge", v});
+  const std::string json = obs::to_json(snap);
+  const std::size_t pos = json.find("\"precise.gauge\": ");
+  ASSERT_NE(pos, std::string::npos);
+  const double back =
+      std::strtod(json.c_str() + pos + std::strlen("\"precise.gauge\": "),
+                  nullptr);
+  EXPECT_EQ(back, v);
+}
+
+}  // namespace

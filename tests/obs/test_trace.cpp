@@ -1,0 +1,257 @@
+// Unit tests for obs::TraceRecorder + the Chrome trace-event exporter:
+// enable/disable semantics, span/instant/counter recording, drop-oldest
+// accounting, per-thread tracks, and export structure (B/E matching into
+// "X" events, orphan handling, JSON validity).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_validate.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace aqua;
+
+/// Tracing state is process-global; tests restore "disabled + empty".
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::TraceRecorder::set_enabled(false);
+    obs::TraceRecorder::instance().clear();
+  }
+  void TearDown() override {
+    obs::TraceRecorder::set_enabled(false);
+    obs::TraceRecorder::instance().clear();
+  }
+
+  /// Sum of event counts across all tracks.
+  static std::size_t total_events(const obs::TraceSnapshot& snap) {
+    std::size_t n = 0;
+    for (const auto& track : snap.tracks) n += track.events.size();
+    return n;
+  }
+
+  /// Events on the calling thread's track with the given name.
+  static std::vector<obs::TraceEvent> events_named(
+      const obs::TraceSnapshot& snap, const std::string& name) {
+    std::vector<obs::TraceEvent> out;
+    for (const auto& track : snap.tracks)
+      for (const auto& ev : track.events)
+        if (ev.name != nullptr && name == ev.name) out.push_back(ev);
+    return out;
+  }
+};
+
+TEST_F(TraceTest, DisabledEmitsNothing) {
+  ASSERT_FALSE(obs::TraceRecorder::enabled());
+  AQUA_TRACE_INSTANT("test.disabled.instant");
+  AQUA_TRACE_COUNTER("test.disabled.counter", 1.0);
+  {
+    AQUA_TRACE_SPAN("test.disabled.span");
+  }
+  const auto snap = obs::TraceRecorder::instance().snapshot();
+  EXPECT_EQ(total_events(snap), 0u);
+}
+
+TEST_F(TraceTest, SpanInstantCounterAppearInSnapshot) {
+  obs::TraceRecorder::set_enabled(true);
+  {
+    AQUA_TRACE_SPAN_SIM("test.span", 1.5);
+    AQUA_TRACE_INSTANT_SIM("test.instant", 2.5);
+    AQUA_TRACE_COUNTER("test.counter", 42.0);
+  }
+  const auto snap = obs::TraceRecorder::instance().snapshot();
+
+  const auto spans = events_named(snap, "test.span");
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].kind, obs::TraceEventKind::kSpanBegin);
+  EXPECT_EQ(spans[1].kind, obs::TraceEventKind::kSpanEnd);
+  EXPECT_DOUBLE_EQ(spans[0].sim_s, 1.5);
+  EXPECT_GE(spans[1].wall_ns, spans[0].wall_ns);
+
+  const auto instants = events_named(snap, "test.instant");
+  ASSERT_EQ(instants.size(), 1u);
+  EXPECT_EQ(instants[0].kind, obs::TraceEventKind::kInstant);
+  EXPECT_DOUBLE_EQ(instants[0].sim_s, 2.5);
+
+  const auto counters = events_named(snap, "test.counter");
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].kind, obs::TraceEventKind::kCounter);
+  EXPECT_DOUBLE_EQ(counters[0].value, 42.0);
+  EXPECT_DOUBLE_EQ(counters[0].sim_s, obs::kNoSimTime);
+}
+
+TEST_F(TraceTest, DisableMidSpanStillClosesIt) {
+  obs::TraceRecorder::set_enabled(true);
+  {
+    AQUA_TRACE_SPAN("test.killswitch.span");
+    obs::TraceRecorder::set_enabled(false);
+    AQUA_TRACE_INSTANT("test.killswitch.ignored");
+  }
+  const auto snap = obs::TraceRecorder::instance().snapshot();
+  EXPECT_EQ(events_named(snap, "test.killswitch.span").size(), 2u);
+  EXPECT_EQ(events_named(snap, "test.killswitch.ignored").size(), 0u);
+}
+
+TEST_F(TraceTest, RingDropsOldestAndCountsDropped) {
+  obs::TraceRecorder::set_enabled(true);
+  const std::size_t n = obs::TraceRecorder::kRingCapacity + 100;
+  for (std::size_t i = 0; i < n; ++i)
+    AQUA_TRACE_COUNTER("test.wrap", static_cast<double>(i));
+  const auto snap = obs::TraceRecorder::instance().snapshot();
+
+  const auto kept = events_named(snap, "test.wrap");
+  ASSERT_EQ(kept.size(), obs::TraceRecorder::kRingCapacity);
+  // Oldest survivor is exactly the first non-dropped emit.
+  EXPECT_DOUBLE_EQ(kept.front().value, 100.0);
+  EXPECT_DOUBLE_EQ(kept.back().value, static_cast<double>(n - 1));
+  EXPECT_EQ(snap.dropped_total, 100u);
+}
+
+TEST_F(TraceTest, ThreadsGetSeparateNamedTracks) {
+  obs::TraceRecorder::set_enabled(true);
+  obs::TraceRecorder::set_thread_name("main-test");
+  AQUA_TRACE_INSTANT("test.threads.main");
+  std::thread worker([] {
+    obs::TraceRecorder::set_thread_name("worker-test");
+    AQUA_TRACE_INSTANT("test.threads.worker");
+  });
+  worker.join();
+
+  const auto snap = obs::TraceRecorder::instance().snapshot();
+  const obs::TraceTrack* main_track = nullptr;
+  const obs::TraceTrack* worker_track = nullptr;
+  for (const auto& track : snap.tracks) {
+    if (track.name == "main-test") main_track = &track;
+    if (track.name == "worker-test") worker_track = &track;
+  }
+  ASSERT_NE(main_track, nullptr);
+  ASSERT_NE(worker_track, nullptr);
+  EXPECT_NE(main_track->tid, worker_track->tid);
+  EXPECT_EQ(events_named(snap, "test.threads.worker").size(), 1u);
+}
+
+TEST_F(TraceTest, ClearRewindsRings) {
+  obs::TraceRecorder::set_enabled(true);
+  AQUA_TRACE_INSTANT("test.clear");
+  obs::TraceRecorder::instance().clear();
+  const auto snap = obs::TraceRecorder::instance().snapshot();
+  EXPECT_EQ(total_events(snap), 0u);
+}
+
+TEST_F(TraceTest, InternReturnsStablePointers) {
+  auto& rec = obs::TraceRecorder::instance();
+  const char* a = rec.intern("dynamic.name.a");
+  const char* b = rec.intern("dynamic.name.a");
+  const char* c = rec.intern("dynamic.name.b");
+  EXPECT_EQ(a, b);  // deduplicated
+  EXPECT_NE(a, c);
+  EXPECT_STREQ(a, "dynamic.name.a");
+}
+
+// ---------------------------------------------------------------------------
+// Chrome exporter — structure checks on hand-built snapshots, so the cases
+// (orphans, empty tracks) are exact rather than timing-dependent.
+
+obs::TraceEvent make_event(obs::TraceEventKind kind, const char* name,
+                           std::uint64_t wall_ns,
+                           double sim_s = obs::kNoSimTime,
+                           double value = 0.0) {
+  obs::TraceEvent ev;
+  ev.kind = kind;
+  ev.name = name;
+  ev.wall_ns = wall_ns;
+  ev.sim_s = sim_s;
+  ev.value = value;
+  return ev;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(ChromeTrace, EmptySnapshotIsValidJson) {
+  const std::string json = obs::to_chrome_json(obs::TraceSnapshot{});
+  EXPECT_TRUE(aqua::testing::JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ChromeTrace, MatchesSpansIntoCompleteEvents) {
+  obs::TraceSnapshot snap;
+  obs::TraceTrack track;
+  track.tid = 7;
+  track.name = "pool-0";
+  using K = obs::TraceEventKind;
+  track.events = {
+      make_event(K::kSpanBegin, "outer", 1000, 0.5),
+      make_event(K::kSpanBegin, "inner", 2000),
+      make_event(K::kSpanEnd, "inner", 3000),
+      make_event(K::kInstant, "mark", 3500, 0.75),
+      make_event(K::kSpanEnd, "outer", 4000),
+      make_event(K::kCounter, "depth", 4500, obs::kNoSimTime, 3.0),
+  };
+  snap.tracks.push_back(std::move(track));
+
+  const std::string json = obs::to_chrome_json(snap);
+  EXPECT_TRUE(aqua::testing::JsonValidator::valid(json)) << json;
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"X\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"i\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"C\""), 1u);
+  EXPECT_NE(json.find("\"name\": \"pool-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_s\": 0.5"), std::string::npos);
+  // inner span: (3000-2000) ns = 1 µs.
+  EXPECT_NE(json.find("\"dur\": 1.000"), std::string::npos);
+}
+
+TEST(ChromeTrace, OrphanEndDroppedOrphanBeginClosedAtLastTimestamp) {
+  obs::TraceSnapshot snap;
+  obs::TraceTrack track;
+  track.tid = 1;
+  using K = obs::TraceEventKind;
+  track.events = {
+      make_event(K::kSpanEnd, "lost_begin", 1000),  // begin fell off the ring
+      make_event(K::kSpanBegin, "still_open", 2000),
+      make_event(K::kInstant, "last", 5000),
+  };
+  snap.tracks.push_back(std::move(track));
+
+  const std::string json = obs::to_chrome_json(snap);
+  EXPECT_TRUE(aqua::testing::JsonValidator::valid(json)) << json;
+  EXPECT_EQ(json.find("lost_begin"), std::string::npos);
+  // still_open closed at the last event (5000 ns): dur = 3 µs.
+  EXPECT_NE(json.find("\"name\": \"still_open\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 3.000"), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"X\""), 1u);
+}
+
+TEST(ChromeTrace, EscapesExoticNames) {
+  obs::TraceSnapshot snap;
+  obs::TraceTrack track;
+  track.tid = 1;
+  track.name = "weird \"thread\"\n";
+  track.events = {make_event(obs::TraceEventKind::kInstant,
+                             "quote\" back\\slash \t tab", 100)};
+  snap.tracks.push_back(std::move(track));
+  const std::string json = obs::to_chrome_json(snap);
+  EXPECT_TRUE(aqua::testing::JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("quote\\\" back\\\\slash \\t tab"), std::string::npos);
+}
+
+TEST(ChromeTrace, ReportsDroppedEvents) {
+  obs::TraceSnapshot snap;
+  snap.dropped_total = 123;
+  const std::string json = obs::to_chrome_json(snap);
+  EXPECT_NE(json.find("\"dropped_events\": 123"), std::string::npos);
+}
+
+}  // namespace

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <string>
+#include <vector>
 
 namespace aqua::sim {
 namespace {
@@ -66,6 +68,35 @@ TEST(Trace, CsvWritten) {
   std::getline(in, line);
   EXPECT_EQ(line, "t_u,u");
   std::remove(path.c_str());
+}
+
+TEST(Trace, CsvUnequalChannelLengths) {
+  // Channels are written as independent blocks, so different lengths must
+  // round-trip without padding or truncation.
+  Trace tr;
+  tr.record("long", Seconds{0.0}, 1.0);
+  tr.record("long", Seconds{1.0}, 2.0);
+  tr.record("long", Seconds{2.0}, 3.0);
+  tr.record("short", Seconds{0.5}, 9.0);
+
+  const std::string path = testing::TempDir() + "/aqua_trace_unequal.csv";
+  tr.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  std::remove(path.c_str());
+
+  // Block 1: "long" header + 3 rows + blank; block 2: "short" header + 1 row
+  // + blank (channels iterate in sorted order).
+  ASSERT_EQ(lines.size(), 8u);
+  EXPECT_EQ(lines[0], "t_long,long");
+  EXPECT_EQ(lines[1], "0,1");
+  EXPECT_EQ(lines[3], "2,3");
+  EXPECT_EQ(lines[4], "");
+  EXPECT_EQ(lines[5], "t_short,short");
+  EXPECT_EQ(lines[6], "0.5,9");
+  EXPECT_EQ(lines[7], "");
 }
 
 TEST(Trace, ClearEmpties) {
