@@ -7,8 +7,10 @@
 #include <cstdio>
 #include <vector>
 
+#include "core/monitor.hpp"
 #include "core/rig.hpp"
 #include "fleet/fleet.hpp"
+#include "fleet/supervisor.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -47,8 +49,11 @@ int main() {
 
   // One sensor per pipe: full observability, every junction balanced.
   std::vector<fleet::SensorPlacement> placements;
-  for (hydro::WaterNetwork::PipeId p = 0; p < net.pipe_count(); ++p)
+  std::vector<hydro::WaterNetwork::PipeId> pipes;
+  for (hydro::WaterNetwork::PipeId p = 0; p < net.pipe_count(); ++p) {
     placements.push_back(fleet::SensorPlacement{p, 0.0});
+    pipes.push_back(p);
+  }
 
   fleet::FleetConfig cfg;
   cfg.sensor.isif = cta::coarse_isif_config();  // monitoring, not metrology
@@ -70,8 +75,25 @@ int main() {
   std::printf("calibrated %zu dies (each absorbs its own tolerances)\n\n",
               engine.size());
 
+  // Leak localizer signatures must be learned on the pre-leak network; the
+  // small probe emitter keeps the probe leak well under the district demand.
+  cta::LeakLocalizer localizer(net, pipes, util::metres_per_second(0.02));
+  localizer.set_probe_emitter(2e-4);
+  localizer.calibrate();
+
+  // The fleet supervisor watches every sensor once per epoch from here on.
+  fleet::FleetSupervisor supervisor(engine, fleet::SupervisorConfig{});
+  const auto run_supervised = [&](Seconds duration) {
+    const long long epochs =
+        static_cast<long long>(duration.value() / cfg.epoch.value() + 0.5);
+    for (long long e = 0; e < epochs; ++e) {
+      engine.step_epoch(&pool);
+      supervisor.poll();
+    }
+  };
+
   // --- a healthy compressed day --------------------------------------------
-  engine.run(day, &pool);
+  run_supervised(day);
   const fleet::FleetReport healthy = engine.report();
   std::printf("healthy day: demand %.1f l/s, worst junction residual "
               "%+.2f l/s\n",
@@ -88,7 +110,7 @@ int main() {
   // --- spring a leak at junction n4, keep monitoring ------------------------
   std::printf("\n*** leak springs at junction %zu ***\n", n4);
   net.set_leak(n4, 1e-3);  // q = C*sqrt(pressure head)
-  engine.run(Seconds{1.5}, &pool);
+  run_supervised(Seconds{1.5});
 
   const fleet::FleetReport leaking = engine.report();
   std::printf("escaping flow (model truth): %.2f l/s\n",
@@ -107,6 +129,42 @@ int main() {
                               "dispatch the crew (paper vision achieved)"
                             : "leak NOT localized");
 
+  // --- a sensor dies in the field: degraded-mode localization ---------------
+  // Water hammer ruptures the membrane of the sensor on the n6–n7 balancing
+  // pipe. The supervisor quarantines it on the next poll, and the masked
+  // estimate API pins its entry to zero instead of silently replaying the
+  // last pre-fault sample — the stale-data hazard latest_estimates() had.
+  const std::size_t casualty = 9;  // sensor on the n6–n7 pipe
+  std::printf("\n*** sensor %zu membrane ruptures (water hammer) ***\n",
+              casualty);
+  engine.node(casualty).anemometer().die().damage_membrane();
+  run_supervised(Seconds{1.0});
+
+  const fleet::MaskedEstimates masked = engine.latest_estimates_masked();
+  std::printf("supervisor: sensor %zu is %s; %zu of %zu sensors in service\n",
+              casualty,
+              fleet::node_health_state_name(supervisor.state(casualty)),
+              masked.valid_count(), engine.size());
+  const bool casualty_masked =
+      masked.valid[casualty] == 0 && masked.values[casualty] == 0.0;
+
+  // The leak localizer's masked overloads keep working on the surviving set.
+  const bool still_detected =
+      localizer.leak_detected(masked.values, masked.valid);
+  std::size_t masked_rank = 0;
+  const auto hypotheses = localizer.locate(masked.values, masked.valid);
+  for (std::size_t i = 0; i < hypotheses.size(); ++i)
+    if (hypotheses[i].node == n4) masked_rank = i + 1;
+  std::printf("degraded mode: leak %s, true junction ranked #%zu of %zu\n",
+              still_detected ? "still detected" : "LOST", masked_rank,
+              hypotheses.size());
+  const bool degraded_ok = casualty_masked && still_detected &&
+                           masked_rank >= 1 && masked_rank <= 3;
+  std::printf("%s\n", degraded_ok
+                          ? "graceful degradation: one casualty, mission "
+                            "intact"
+                          : "degraded-mode localization FAILED");
+
   // --- export the timeline ---------------------------------------------------
   const std::string trace_path = "fleet_monitoring_trace.json";
   obs::write_chrome_trace(trace_path,
@@ -114,5 +172,5 @@ int main() {
   std::printf("\ntrace: wrote %s — open it at https://ui.perfetto.dev to see "
               "the day unfold per thread\n",
               trace_path.c_str());
-  return localized ? 0 : 1;
+  return localized && degraded_ok ? 0 : 1;
 }

@@ -334,6 +334,32 @@ void CtaAnemometer::reset() {
       std::lround(u_ * isif_.dac(0).dac().max_code())));
 }
 
+void CtaAnemometer::reboot() {
+  flight_.record(t_.value(), obs::FlightRecordKind::kReboot);
+  pi_saturated_ = false;
+  adc_overload_prev_ = false;
+  // Electronics only: die_ and package_ keep their (possibly damaged)
+  // physical state, and t_ keeps running — the plant does not reboot.
+  isif_.reset();
+  output_iir_.reset();
+  direction_lp_.reset(0.0);
+  control_ticks_ = 0;
+  tick_phase_ = 0;  // the channels' decimation counters restarted with isif_
+  pending_error_code_ = 0.0;
+  pending_dir_code_ = 0.0;
+  adc_overload_ = false;
+  filtered_u_ = 0.0;
+  direction_offset_ = 0.0;
+  dir_filtered_ = 0.0;
+  phase_on_ = true;
+  was_on_ = true;
+  output_primed_ = false;
+  u_ = u_held_ = config_.pi_min;
+  pi_.reset(u_);
+  isif_.dac(0).request_code(static_cast<int>(
+      std::lround(u_ * isif_.dac(0).dac().max_code())));
+}
+
 double CtaAnemometer::bridge_voltage() const {
   return u_ * config_.dac_full_scale.value();
 }

@@ -126,6 +126,14 @@ class CtaAnemometer {
   /// a reset loop replays a stimulus bit-identically.
   void reset();
 
+  /// Field reboot: power-cycles the *electronics* only — ISIF platform
+  /// (channels, DACs, firmware/watchdog), PI, filters, commissioning null and
+  /// the loop bootstrap — while the die and package keep their physical state
+  /// (a reboot does not mend a membrane, dry a package or re-solder a bond
+  /// wire) and simulation time keeps running. This is the supervisor's
+  /// recovery move before a re-commission attempt.
+  void reboot();
+
   [[nodiscard]] util::Seconds tick_period() const;
   [[nodiscard]] util::Hertz control_rate() const;
   [[nodiscard]] util::Seconds now() const { return t_; }

@@ -48,7 +48,15 @@ std::vector<FaultCode> HealthMonitor::assess(const CtaAnemometer& anemometer,
     const double rate = std::abs(v - prev_speed_) / dt.value();
     if (rate > config_.max_rate_mps_per_s)
       faults.push_back(FaultCode::kRateLimit);
-    if (std::abs(v - prev_speed_) < config_.stuck_epsilon_mps) {
+    const bool speed_frozen =
+        std::abs(v - prev_speed_) < config_.stuck_epsilon_mps;
+    // At an indicated zero the inversion dead band hides the speed, so the
+    // channel only counts as frozen if the bridge voltage stopped moving too.
+    const bool dead_band = std::abs(v) < config_.stuck_epsilon_mps;
+    const bool voltage_frozen =
+        std::abs(reading.bridge_voltage - prev_voltage_) <
+        config_.stuck_epsilon_volts;
+    if (speed_frozen && (!dead_band || voltage_frozen)) {
       if (++identical_count_ >= config_.stuck_count)
         faults.push_back(FaultCode::kStuckReading);
     } else {
@@ -56,6 +64,7 @@ std::vector<FaultCode> HealthMonitor::assess(const CtaAnemometer& anemometer,
     }
   }
   prev_speed_ = v;
+  prev_voltage_ = reading.bridge_voltage;
   have_prev_ = true;
 
   // Every fault goes into the sensor's blackbox; the healthy→faulty edge
@@ -81,6 +90,7 @@ void HealthMonitor::reset() {
   healthy_ = true;
   have_prev_ = false;
   prev_speed_ = 0.0;
+  prev_voltage_ = 0.0;
   identical_count_ = 0;
 }
 

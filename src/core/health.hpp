@@ -39,6 +39,14 @@ struct HealthConfig {
   /// (the live loop's noise floor makes exact repeats practically impossible).
   int stuck_count = 20;
   double stuck_epsilon_mps = 1e-6;
+  /// A reading of exactly zero is NOT proof of a dead channel: below the
+  /// King-fit dead band the inversion clamps to 0.0 for a perfectly healthy
+  /// sensor on a stagnant pipe. At zero indicated flow the only liveness
+  /// signal left is the bridge voltage, which a live loop dithers at the
+  /// ΣΔ noise floor (~mV/epoch) and a railed/dead channel freezes to sub-µV
+  /// within a few output-filter time constants. Zero readings therefore only
+  /// advance the stuck counter while the voltage moves less than this.
+  double stuck_epsilon_volts = 1e-5;
 };
 
 /// Stateful monitor; call assess() once per output-filter reading (~10 Hz).
@@ -66,6 +74,7 @@ class HealthMonitor {
   bool healthy_ = true;
   bool have_prev_ = false;
   double prev_speed_ = 0.0;
+  double prev_voltage_ = 0.0;
   int identical_count_ = 0;
 };
 

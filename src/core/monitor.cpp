@@ -52,31 +52,60 @@ void LeakLocalizer::calibrate() {
   if (!net_.solve()) throw std::runtime_error("LeakLocalizer: restore solve failed");
 }
 
+namespace {
+/// An empty mask means "every sensor valid" (the legacy overloads).
+bool mask_valid(std::span<const std::uint8_t> valid, std::size_t i) {
+  return valid.empty() || valid[i] != 0;
+}
+}  // namespace
+
 bool LeakLocalizer::leak_detected(std::span<const double> measured) const {
+  return leak_detected(measured, {});
+}
+
+bool LeakLocalizer::leak_detected(std::span<const double> measured,
+                                  std::span<const std::uint8_t> valid) const {
   if (measured.size() != sensors_.size())
     throw std::invalid_argument("LeakLocalizer: measurement size mismatch");
+  if (!valid.empty() && valid.size() != sensors_.size())
+    throw std::invalid_argument("LeakLocalizer: validity mask size mismatch");
   double norm2 = 0.0;
+  std::size_t active = 0;
   for (std::size_t i = 0; i < measured.size(); ++i) {
+    if (!mask_valid(valid, i)) continue;
     const double r = measured[i] - baseline_[i];
     norm2 += r * r;
+    ++active;
   }
+  if (active == 0) return false;  // no surviving sensors, no evidence
   const double sigma = resolution_.value();
-  const double threshold2 =
-      9.0 * sigma * sigma * static_cast<double>(sensors_.size());
+  const double threshold2 = 9.0 * sigma * sigma * static_cast<double>(active);
   return norm2 > threshold2;
 }
 
 std::vector<LeakHypothesis> LeakLocalizer::locate(
     std::span<const double> measured) const {
+  return locate(measured, {});
+}
+
+std::vector<LeakHypothesis> LeakLocalizer::locate(
+    std::span<const double> measured,
+    std::span<const std::uint8_t> valid) const {
   AQUA_TRACE_SPAN("leak.locate");
   if (measured.size() != sensors_.size())
     throw std::invalid_argument("LeakLocalizer: measurement size mismatch");
+  if (!valid.empty() && valid.size() != sensors_.size())
+    throw std::invalid_argument("LeakLocalizer: validity mask size mismatch");
   if (signatures_.empty())
     throw std::logic_error("LeakLocalizer: calibrate() has not run");
 
   std::vector<double> residual(measured.size());
-  for (std::size_t i = 0; i < measured.size(); ++i)
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
     residual[i] = measured[i] - baseline_[i];
+    if (mask_valid(valid, i)) ++active;
+  }
+  if (active == 0) return {};  // no surviving sensors, nothing to rank
 
   std::vector<LeakHypothesis> out;
   out.reserve(candidates_.size());
@@ -84,12 +113,14 @@ std::vector<LeakHypothesis> LeakLocalizer::locate(
     const auto& sig = signatures_[c];
     double num = 0.0, den = 0.0;
     for (std::size_t i = 0; i < residual.size(); ++i) {
+      if (!mask_valid(valid, i)) continue;
       num += sig[i] * residual[i];
       den += sig[i] * sig[i];
     }
     const double magnitude = den > 1e-18 ? std::max(0.0, num / den) : 0.0;
     double rn = 0.0;
     for (std::size_t i = 0; i < residual.size(); ++i) {
+      if (!mask_valid(valid, i)) continue;
       const double r = residual[i] - magnitude * sig[i];
       rn += r * r;
     }

@@ -10,6 +10,7 @@
 //     matched against each candidate's sensitivity signature.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -45,12 +46,35 @@ class LeakLocalizer {
   /// the healthy baseline beyond 3× the combined sensor resolution.
   [[nodiscard]] bool leak_detected(std::span<const double> measured) const;
 
+  /// Graceful-degradation variant: only sensors with a nonzero `valid` flag
+  /// participate, and the detection threshold scales with the surviving
+  /// sensor count (fleet::MaskedEstimates is the intended source). With zero
+  /// valid sensors nothing can be detected and this returns false.
+  [[nodiscard]] bool leak_detected(std::span<const double> measured,
+                                   std::span<const std::uint8_t> valid) const;
+
   /// Ranks candidate junctions by how well a single leak there explains the
   /// measurement (best first). Requires calibrate() to have run.
   [[nodiscard]] std::vector<LeakHypothesis> locate(
       std::span<const double> measured) const;
 
+  /// Graceful-degradation variant: the least-squares match runs over the
+  /// valid-sensor subset only, so a quarantined sensor's pinned value can
+  /// neither vote nor poison the ranking. With zero valid sensors there is no
+  /// evidence and the ranking is empty.
+  [[nodiscard]] std::vector<LeakHypothesis> locate(
+      std::span<const double> measured,
+      std::span<const std::uint8_t> valid) const;
+
   [[nodiscard]] std::size_t sensor_count() const { return sensors_.size(); }
+
+  /// Emitter coefficient (m³/s per √m) of the unit probe leak used while
+  /// building signatures. The default suits lightly loaded districts; drop it
+  /// when the probe flow would rival the district's demand (heavily loaded
+  /// networks may fail to converge under a large synthetic leak). Call before
+  /// calibrate().
+  void set_probe_emitter(double coefficient) { probe_emitter_ = coefficient; }
+  [[nodiscard]] double probe_emitter() const { return probe_emitter_; }
 
  private:
   hydro::WaterNetwork& net_;

@@ -1,0 +1,365 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace aqua::fault {
+
+using util::Seconds;
+
+namespace {
+const obs::Counter kInjected{"fault.injected"};
+
+// --- severity → physical scale maps ----------------------------------------
+// Bubble film: fraction of the die surface blanketed at full severity.
+constexpr double kBubbleCoverageMax = 0.9;
+// Mineral/biofilm layer thickness at full severity.
+constexpr double kDepositThicknessMax = 50e-6;  // m
+// Moisture ingress: enough to pull the package insulation below the healthy
+// limit even at the lowest severity (hard faults must be detectable).
+double moisture_amount(double severity) { return 0.8 + 0.2 * severity; }
+// Stuck output bit: severity selects which mid/high bit of the 16-bit word
+// latches high (higher severity = more significant bit = larger corruption).
+std::uint32_t stuck_mask(double severity) {
+  const int bit = 10 + static_cast<int>(std::lround(
+                           std::clamp(severity, 0.0, 1.0) * 4.0));
+  return 1u << bit;
+}
+// Input-referred front-end offset at full severity.
+constexpr double kOffsetMaxVolts = 0.05;
+// Brownout: rail scale factor floor at full severity.
+double brownout_droop(double severity) {
+  return std::clamp(1.0 - 0.5 * severity, 0.3, 1.0);
+}
+// Runaway handler: cycles stolen on the next firmware tick — orders of
+// magnitude past any per-period budget, so the watchdog latches immediately.
+double overrun_cycles(double severity) { return 1e6 * (0.5 + severity); }
+
+bool is_surface(FaultKind kind) {
+  return kind == FaultKind::kBubbleAdhesion ||
+         kind == FaultKind::kFoulingDeposit;
+}
+bool is_channel(FaultKind kind) {
+  return kind == FaultKind::kAdcStuckBits ||
+         kind == FaultKind::kAdcOffsetDrift;
+}
+bool is_permanent(FaultKind kind) {
+  return kind == FaultKind::kMembraneOverpressure ||
+         kind == FaultKind::kMoistureIngress;
+}
+}  // namespace
+
+FaultCampaign& FaultCampaign::add(const FaultEvent& event) {
+  if (event.severity < 0.0 || event.severity > 1.0)
+    throw std::invalid_argument("FaultCampaign: severity outside [0,1]");
+  events_.push_back(event);
+  return *this;
+}
+
+FaultCampaign FaultCampaign::random(std::uint64_t seed, std::size_t count,
+                                    std::size_t sensor_count,
+                                    Seconds earliest, Seconds horizon,
+                                    Seconds min_duration,
+                                    Seconds max_duration) {
+  if (sensor_count == 0)
+    throw std::invalid_argument("FaultCampaign: no sensors");
+  if (horizon.value() <= earliest.value())
+    throw std::invalid_argument("FaultCampaign: empty schedule window");
+  FaultCampaign campaign{seed};
+  for (std::size_t k = 0; k < count; ++k) {
+    // Event k draws only from its own counter-based stream: the schedule is
+    // a pure function of (seed, k), independent of evaluation order.
+    util::Rng rng = util::Rng::stream(seed, k);
+    FaultEvent ev;
+    ev.kind = static_cast<FaultKind>(rng.below(kFaultKindCount));
+    ev.sensor = static_cast<std::size_t>(rng.below(sensor_count));
+    ev.start = Seconds{rng.uniform(earliest.value(), horizon.value())};
+    ev.duration =
+        Seconds{rng.uniform(min_duration.value(), max_duration.value())};
+    ev.severity = rng.uniform(0.5, 1.0);
+    campaign.add(ev);
+  }
+  return campaign;
+}
+
+FaultInjector::FaultInjector(fleet::FleetEngine& engine,
+                             const FaultCampaign& campaign)
+    : engine_(engine), events_(campaign.events()) {
+  for (const FaultEvent& ev : events_)
+    if (ev.sensor >= engine.size())
+      throw std::invalid_argument("FaultInjector: event sensor out of range");
+  started_.assign(events_.size(), 0);
+  expired_.assign(events_.size(), 0);
+  injection_t_s_.assign(events_.size(), -1.0);
+}
+
+void FaultInjector::apply_start(std::size_t k, Seconds now) {
+  const FaultEvent& ev = events_[k];
+  auto& anemometer = engine_.node(ev.sensor).anemometer();
+  switch (ev.kind) {
+    case FaultKind::kMembraneOverpressure:
+      anemometer.die().damage_membrane();
+      break;
+    case FaultKind::kMoistureIngress:
+      anemometer.package().inject_moisture(moisture_amount(ev.severity));
+      break;
+    case FaultKind::kWatchdogOverrun:
+      anemometer.platform().firmware().inject_overrun_cycles(
+          overrun_cycles(ev.severity));
+      break;
+    default:
+      break;  // surface/channel/rail kinds are applied by the refreshers
+  }
+  started_[k] = 1;
+  injection_t_s_[k] = now.value();
+  ++injections_;
+  kInjected.add(1);
+  anemometer.flight().record(anemometer.now().value(),
+                             obs::FlightRecordKind::kFaultInjected,
+                             static_cast<std::int32_t>(ev.kind), ev.severity,
+                             fault_kind_label(ev.kind));
+  AQUA_TRACE_INSTANT_SIM("fault.injected", now.value());
+}
+
+void FaultInjector::apply_expiry(std::size_t k) {
+  expired_[k] = 1;  // the refreshers rebuild the sensor's aggregate state
+}
+
+void FaultInjector::refresh_surface(std::size_t sensor, Seconds now) {
+  // Aggregate every active surface event into one coverage / one thickness
+  // (max wins — two bubbles don't insulate twice). Expired events drop out,
+  // which is the detach/clean.
+  double coverage = 0.0;
+  double thickness = 0.0;
+  for (std::size_t k = 0; k < events_.size(); ++k) {
+    const FaultEvent& ev = events_[k];
+    if (ev.sensor != sensor || !is_surface(ev.kind)) continue;
+    if (started_[k] == 0 || expired_[k] != 0) continue;
+    // Linear growth over the first half of the window, then full severity.
+    const double ramp = std::max(0.5 * ev.duration.value(), 1e-9);
+    const double phase =
+        std::clamp((now.value() - ev.start.value()) / ramp, 0.0, 1.0);
+    if (ev.kind == FaultKind::kBubbleAdhesion)
+      coverage = std::max(coverage, kBubbleCoverageMax * ev.severity * phase);
+    else
+      thickness =
+          std::max(thickness, kDepositThicknessMax * ev.severity * phase);
+  }
+  auto& die = engine_.node(sensor).anemometer().die();
+  die.fouling_a().set_bubble_coverage(coverage);
+  die.fouling_b().set_bubble_coverage(coverage);
+  die.fouling_a().set_deposit_thickness(thickness);
+  die.fouling_b().set_deposit_thickness(thickness);
+}
+
+void FaultInjector::refresh_channel(std::size_t sensor) {
+  isif::ChannelFault agg;
+  double droop = 1.0;
+  for (std::size_t k = 0; k < events_.size(); ++k) {
+    const FaultEvent& ev = events_[k];
+    if (ev.sensor != sensor) continue;
+    if (started_[k] == 0 || expired_[k] != 0) continue;
+    if (ev.kind == FaultKind::kAdcStuckBits)
+      agg.stuck_high |= stuck_mask(ev.severity);
+    else if (ev.kind == FaultKind::kAdcOffsetDrift)
+      agg.offset_volts += kOffsetMaxVolts * ev.severity;
+    else if (ev.kind == FaultKind::kDacBrownout)
+      droop = std::min(droop, brownout_droop(ev.severity));
+  }
+  auto& platform = engine_.node(sensor).anemometer().platform();
+  if (agg.any())
+    platform.channel(0).inject_fault(agg);
+  else
+    platform.channel(0).clear_fault();
+  platform.dac(0).set_supply_droop(droop);
+}
+
+void FaultInjector::update(Seconds now) {
+  std::vector<std::uint8_t> touch_surface(engine_.size(), 0);
+  std::vector<std::uint8_t> touch_channel(engine_.size(), 0);
+  for (std::size_t k = 0; k < events_.size(); ++k) {
+    const FaultEvent& ev = events_[k];
+    if (started_[k] == 0 && now.value() >= ev.start.value()) {
+      apply_start(k, now);
+      if (ev.kind == FaultKind::kWatchdogOverrun)
+        expired_[k] = 1;  // one-shot; the latch lives in the firmware
+    }
+    if (started_[k] != 0 && expired_[k] == 0 && !is_permanent(ev.kind) &&
+        now.value() >= ev.start.value() + ev.duration.value()) {
+      apply_expiry(k);
+      if (is_surface(ev.kind)) touch_surface[ev.sensor] = 1;
+      else touch_channel[ev.sensor] = 1;
+    }
+    if (started_[k] != 0 && expired_[k] == 0) {
+      if (is_surface(ev.kind)) touch_surface[ev.sensor] = 1;  // ramps
+      else if (is_channel(ev.kind) || ev.kind == FaultKind::kDacBrownout)
+        touch_channel[ev.sensor] = 1;
+    }
+  }
+  // Only touched sensors are rebuilt: a fleet with no active events executes
+  // no injection code at all (the zero-perturbation contract).
+  for (std::size_t s = 0; s < engine_.size(); ++s) {
+    if (touch_surface[s] != 0) refresh_surface(s, now);
+    if (touch_channel[s] != 0) refresh_channel(s);
+  }
+}
+
+std::uint64_t fleet_trace_checksum(const fleet::FleetEngine& engine) {
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < engine.size(); ++i)
+    for (const fleet::TraceSample& s : engine.node(i).trace()) {
+      checksum ^= std::bit_cast<std::uint64_t>(s.bridge_voltage);
+      checksum ^= std::bit_cast<std::uint64_t>(s.estimate_mps) * 0x9E37u;
+      checksum ^= std::bit_cast<std::uint64_t>(s.true_mean_mps) * 0x85EBu;
+    }
+  return checksum;
+}
+
+CampaignSummary run_campaign(fleet::FleetEngine& engine,
+                             fleet::FleetSupervisor& supervisor,
+                             const FaultCampaign& campaign, Seconds duration,
+                             util::ThreadPool* pool) {
+  FaultInjector injector(engine, campaign);
+  const std::vector<FaultEvent>& events = campaign.events();
+
+  CampaignSummary summary;
+  summary.sensors = engine.size();
+  summary.outcomes.reserve(events.size());
+  for (const FaultEvent& ev : events) {
+    FaultOutcome outcome;
+    outcome.event = ev;
+    outcome.hard = fault_kind_is_hard(ev.kind);
+    summary.outcomes.push_back(outcome);
+  }
+
+  std::vector<long long> injection_epoch(events.size(), -1);
+  std::vector<int> prev_quarantines(engine.size(), 0);
+  std::vector<int> prev_recoveries(engine.size(), 0);
+  for (std::size_t i = 0; i < engine.size(); ++i) {
+    prev_quarantines[i] = supervisor.supervision(i).quarantine_entries;
+    prev_recoveries[i] = supervisor.supervision(i).recoveries;
+  }
+
+  const long long epochs = static_cast<long long>(
+      std::ceil(duration.value() / engine.config().epoch.value()));
+  for (long long e = 0; e < epochs; ++e) {
+    injector.update(engine.now());
+    for (std::size_t k = 0; k < events.size(); ++k) {
+      if (injection_epoch[k] < 0 && injector.started(k)) {
+        injection_epoch[k] = e;
+        summary.outcomes[k].injected = true;
+        summary.outcomes[k].injected_t_s = injector.injection_time_s(k);
+        const fleet::NodeHealthState st = supervisor.state(events[k].sensor);
+        if (st == fleet::NodeHealthState::kQuarantined ||
+            st == fleet::NodeHealthState::kFailed) {
+          // Injected into a sensor already out of service: supervision has
+          // already acted and the fault cannot reach the localizer, so the
+          // event counts as contained at injection time.
+          summary.outcomes[k].quarantined_t_s = injector.injection_time_s(k);
+          summary.outcomes[k].detection_epochs = 0;
+        }
+      }
+    }
+    engine.step_epoch(pool);
+    supervisor.poll();
+    for (std::size_t i = 0; i < engine.size(); ++i) {
+      const fleet::NodeSupervision& sup = supervisor.supervision(i);
+      if (sup.quarantine_entries > prev_quarantines[i]) {
+        prev_quarantines[i] = sup.quarantine_entries;
+        for (std::size_t k = 0; k < events.size(); ++k) {
+          FaultOutcome& outcome = summary.outcomes[k];
+          if (outcome.event.sensor != i || !outcome.injected) continue;
+          if (outcome.quarantined_t_s >= 0.0) continue;
+          outcome.quarantined_t_s = sup.quarantined_t_s;
+          outcome.detection_epochs = e - injection_epoch[k] + 1;
+        }
+      }
+      if (sup.recoveries > prev_recoveries[i]) {
+        prev_recoveries[i] = sup.recoveries;
+        for (std::size_t k = 0; k < events.size(); ++k) {
+          FaultOutcome& outcome = summary.outcomes[k];
+          if (outcome.event.sensor != i) continue;
+          if (outcome.quarantined_t_s < 0.0 || outcome.recovered_t_s >= 0.0)
+            continue;
+          outcome.recovered_t_s = sup.recovered_t_s;
+        }
+      }
+    }
+  }
+
+  summary.epochs = epochs;
+  summary.sim_time_s = engine.now().value();
+  summary.injected = injector.injections();
+  std::vector<int> events_on_sensor(engine.size(), 0);
+  for (const FaultOutcome& outcome : summary.outcomes) {
+    if (!outcome.injected) continue;
+    ++events_on_sensor[outcome.event.sensor];
+    if (outcome.hard) {
+      ++summary.hard_injected;
+      if (outcome.quarantined_t_s >= 0.0) ++summary.hard_detected;
+    } else {
+      ++summary.transient_injected;
+      if (outcome.quarantined_t_s >= 0.0) {
+        ++summary.transient_detected;
+        if (outcome.recovered_t_s >= 0.0) ++summary.transient_recovered;
+      }
+    }
+  }
+  // Flaps: quarantine activity on sensors that had no fault injected at all —
+  // pure supervisor false positives. The CI gate requires zero.
+  for (std::size_t i = 0; i < engine.size(); ++i)
+    if (events_on_sensor[i] == 0)
+      summary.quarantine_flaps +=
+          supervisor.supervision(i).quarantine_entries;
+  for (std::size_t i = 0; i < engine.size(); ++i)
+    if (supervisor.state(i) == fleet::NodeHealthState::kFailed)
+      ++summary.failed_permanently;
+  summary.trace_checksum = fleet_trace_checksum(engine);
+  return summary;
+}
+
+std::string CampaignSummary::to_json() const {
+  std::string out = "{\n";
+  char buf[384];
+  std::snprintf(buf, sizeof buf,
+                "  \"epochs\": %lld,\n  \"sim_time_s\": %.6f,\n"
+                "  \"sensors\": %zu,\n  \"injected\": %lld,\n"
+                "  \"hard_injected\": %lld,\n  \"hard_detected\": %lld,\n"
+                "  \"transient_injected\": %lld,\n"
+                "  \"transient_detected\": %lld,\n"
+                "  \"transient_recovered\": %lld,\n"
+                "  \"failed_permanently\": %lld,\n"
+                "  \"quarantine_flaps\": %lld,\n"
+                "  \"trace_checksum\": \"%016llx\",\n",
+                epochs, sim_time_s, sensors, injected, hard_injected,
+                hard_detected, transient_injected, transient_detected,
+                transient_recovered, failed_permanently, quarantine_flaps,
+                static_cast<unsigned long long>(trace_checksum));
+  out += buf;
+  out += "  \"outcomes\": [\n";
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    const FaultOutcome& o = outcomes[k];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"sensor\": %zu, \"kind\": \"%s\", \"hard\": %s, "
+        "\"severity\": %.3f, \"injected_t_s\": %.3f, "
+        "\"quarantined_t_s\": %.3f, \"detection_epochs\": %lld, "
+        "\"recovered_t_s\": %.3f}%s\n",
+        o.event.sensor, fault_kind_label(o.event.kind),
+        o.hard ? "true" : "false", o.event.severity, o.injected_t_s,
+        o.quarantined_t_s, o.detection_epochs, o.recovered_t_s,
+        k + 1 < outcomes.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace aqua::fault

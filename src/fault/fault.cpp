@@ -1,0 +1,43 @@
+#include "fault/fault.hpp"
+
+namespace aqua::fault {
+
+const char* fault_kind_label(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBubbleAdhesion: return "bubble-adhesion";
+    case FaultKind::kFoulingDeposit: return "fouling-deposit";
+    case FaultKind::kMembraneOverpressure: return "membrane-overpressure";
+    case FaultKind::kMoistureIngress: return "moisture-ingress";
+    case FaultKind::kAdcStuckBits: return "adc-stuck-bits";
+    case FaultKind::kAdcOffsetDrift: return "adc-offset-drift";
+    case FaultKind::kDacBrownout: return "dac-brownout";
+    case FaultKind::kWatchdogOverrun: return "watchdog-overrun";
+  }
+  return "unknown";
+}
+
+bool fault_kind_is_hard(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMembraneOverpressure:
+    case FaultKind::kMoistureIngress:
+    case FaultKind::kAdcStuckBits:
+    case FaultKind::kWatchdogOverrun:
+      return true;
+    case FaultKind::kBubbleAdhesion:
+    case FaultKind::kFoulingDeposit:
+    case FaultKind::kAdcOffsetDrift:
+    case FaultKind::kDacBrownout:
+      return false;
+  }
+  return false;
+}
+
+bool fault_kind_is_transient(FaultKind kind) {
+  // Everything except physical destruction can clear: transient soft faults
+  // expire on their own, the stuck bit re-seats at expiry and the watchdog
+  // clears on reboot. Membrane and package damage never come back.
+  return kind != FaultKind::kMembraneOverpressure &&
+         kind != FaultKind::kMoistureIngress;
+}
+
+}  // namespace aqua::fault

@@ -1,0 +1,68 @@
+// fault.hpp — the fault taxonomy of the fault-injection subsystem. Each kind
+// maps to a *physical* injection port at the layer where the real failure
+// lives (maf die surface, package, ISIF channel, DAC rail, LEON firmware) —
+// never to a synthetic "flip the reading" shortcut — so a campaign exercises
+// the same detection path a deployed sensor would: the fault perturbs the
+// plant, the CTA loop responds, the HealthMonitor sees the symptom and the
+// FleetSupervisor acts on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace aqua::fault {
+
+enum class FaultKind : std::uint8_t {
+  /// Gas bubble spreading under the die surface (thermal insulation ramp);
+  /// detaches at event expiry — the failure the paper's pulsed drive fights.
+  kBubbleAdhesion = 0,
+  /// Mineral/biofilm deposit growing on the die; scrubbed at event expiry
+  /// (a maintenance clean).
+  kFoulingDeposit = 1,
+  /// Water-hammer overpressure rupturing the membrane. Permanent.
+  kMembraneOverpressure = 2,
+  /// Moisture past the package seal; corrosion follows. Permanent.
+  kMoistureIngress = 3,
+  /// Output-word bit stuck in the ISIF channel (cracked solder joint); the
+  /// joint re-seats at event expiry, but a reboot alone does not clear it.
+  kAdcStuckBits = 4,
+  /// Input-referred offset drift in the channel's analog front end.
+  kAdcOffsetDrift = 5,
+  /// Bridge-supply rail brownout (shared field supply sagging).
+  kDacBrownout = 6,
+  /// Runaway interrupt handler stealing LEON cycles; the watchdog latches
+  /// until the node is rebooted.
+  kWatchdogOverrun = 7,
+};
+
+inline constexpr int kFaultKindCount = 8;
+
+/// Stable label with static storage duration (flight-recorder safe).
+[[nodiscard]] const char* fault_kind_label(FaultKind kind);
+
+/// Hard faults must end in quarantine: either the damage is permanent
+/// (membrane, package) or the sensor cannot serve readings until an external
+/// action clears the cause (latched watchdog, stuck output bit).
+[[nodiscard]] bool fault_kind_is_hard(FaultKind kind);
+
+/// True for faults a re-commissioned sensor can fully recover from once the
+/// event expires (the transient classes of the campaign gates).
+[[nodiscard]] bool fault_kind_is_transient(FaultKind kind);
+
+/// One scheduled fault of a campaign.
+struct FaultEvent {
+  std::size_t sensor = 0;
+  FaultKind kind = FaultKind::kBubbleAdhesion;
+  util::Seconds start{0.0};
+  /// Active window. Ignored for the permanent kinds (membrane, moisture),
+  /// which never expire; for kWatchdogOverrun the injection is one-shot at
+  /// `start` and latches regardless of duration.
+  util::Seconds duration{1.0};
+  /// Kind-specific intensity in [0, 1]; see campaign.cpp for the physical
+  /// scale each kind maps it onto.
+  double severity = 1.0;
+};
+
+}  // namespace aqua::fault

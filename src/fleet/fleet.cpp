@@ -53,6 +53,8 @@ FleetEngine::FleetEngine(hydro::WaterNetwork& network,
         i, placements[i], config_.sensor, net_.pipe_diameter(placements[i].pipe),
         util::Rng::stream(config_.root_seed, i)));
   }
+  estimate_valid_.assign(nodes_.size(), 1);
+  scratch_states_.resize(nodes_.size());
 
   apply_demand_factor(config_.demand_factor.at(Seconds{0.0}));
   if (!net_.solve(config_.water_temperature))
@@ -100,7 +102,21 @@ void FleetEngine::commission(Seconds settle, util::ThreadPool* pool) {
   std::vector<PipeState> states;
   states.reserve(nodes_.size());
   for (const auto& node : nodes_) states.push_back(pipe_state_for(*node));
-  dispatch(pool, [&](std::size_t i) { nodes_[i]->commission(states[i], settle); });
+  dispatch(pool, [&](std::size_t i) {
+    // Power-up built-in self-test first (paper §3's test bus); the test
+    // restores the channel bit-exactly, so the settle below is unaffected.
+    (void)nodes_[i]->run_self_test();
+    nodes_[i]->commission(states[i], settle);
+  });
+}
+
+isif::ChannelSelfTestResult FleetEngine::recommission(std::size_t i,
+                                                      Seconds settle) {
+  AQUA_TRACE_SPAN_SIM("fleet.recommission", t_.value());
+  nodes_[i]->reboot();
+  const isif::ChannelSelfTestResult result = nodes_[i]->run_self_test();
+  nodes_[i]->commission(pipe_state_for(*nodes_[i]), settle);
+  return result;
 }
 
 void FleetEngine::calibrate(std::span<const double> mean_speeds, Seconds dwell,
@@ -121,33 +137,34 @@ void FleetEngine::set_shared_fit(const cta::KingFit& fit) {
 void FleetEngine::run(Seconds duration, util::ThreadPool* pool) {
   const long long epochs = static_cast<long long>(
       std::ceil(duration.value() / config_.epoch.value()));
-  std::vector<PipeState> states(nodes_.size());
-  for (long long e = 0; e < epochs; ++e) {
-    const obs::ScopedTimer epoch_timer{kEpochWall};
-    AQUA_TRACE_SPAN_SIM("fleet.epoch", t_.value());
-    AQUA_TRACE_COUNTER("fleet.sim_time_s", t_.value());
-    apply_demand_factor(config_.demand_factor.at(t_));
-    {
-      AQUA_TRACE_SPAN_SIM("fleet.solve", t_.value());
-      if (!net_.solve(config_.water_temperature)) {
-        ++solve_failures_;
-        kSolveFailures.add(1);
-        AQUA_TRACE_INSTANT_SIM("fleet.solve_failure", t_.value());
-      }
+  for (long long e = 0; e < epochs; ++e) step_epoch(pool);
+}
+
+void FleetEngine::step_epoch(util::ThreadPool* pool) {
+  const obs::ScopedTimer epoch_timer{kEpochWall};
+  AQUA_TRACE_SPAN_SIM("fleet.epoch", t_.value());
+  AQUA_TRACE_COUNTER("fleet.sim_time_s", t_.value());
+  apply_demand_factor(config_.demand_factor.at(t_));
+  {
+    AQUA_TRACE_SPAN_SIM("fleet.solve", t_.value());
+    if (!net_.solve(config_.water_temperature)) {
+      ++solve_failures_;
+      kSolveFailures.add(1);
+      AQUA_TRACE_INSTANT_SIM("fleet.solve_failure", t_.value());
     }
-    // Snapshot serially so every sensor task reads a frozen network state.
-    for (std::size_t i = 0; i < nodes_.size(); ++i)
-      states[i] = pipe_state_for(*nodes_[i]);
-    dispatch(pool, [&](std::size_t i) {
-      const obs::ScopedTimer step_timer{kSensorStepWall};
-      const obs::ScopedSpan sensor_span{"fleet.sensor", t_.value(),
-                                        static_cast<double>(i)};
-      nodes_[i]->advance(states[i], config_.epoch);
-      kSensorSteps.add(1);
-    });
-    t_ += config_.epoch;
-    kEpochs.add(1);
   }
+  // Snapshot serially so every sensor task reads a frozen network state.
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    scratch_states_[i] = pipe_state_for(*nodes_[i]);
+  dispatch(pool, [&](std::size_t i) {
+    const obs::ScopedTimer step_timer{kSensorStepWall};
+    const obs::ScopedSpan sensor_span{"fleet.sensor", t_.value(),
+                                      static_cast<double>(i)};
+    nodes_[i]->advance(scratch_states_[i], config_.epoch);
+    kSensorSteps.add(1);
+  });
+  t_ += config_.epoch;
+  kEpochs.add(1);
 }
 
 FleetReport FleetEngine::report() const {
@@ -162,6 +179,31 @@ std::vector<double> FleetEngine::latest_estimates() const {
                             ? 0.0
                             : node->trace().back().estimate_mps);
   return estimates;
+}
+
+std::size_t MaskedEstimates::valid_count() const {
+  std::size_t n = 0;
+  for (const std::uint8_t v : valid) n += (v != 0) ? 1 : 0;
+  return n;
+}
+
+MaskedEstimates FleetEngine::latest_estimates_masked() const {
+  MaskedEstimates out;
+  out.values.reserve(nodes_.size());
+  out.valid.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const bool in_service = estimate_valid_[i] != 0;
+    const bool has_sample = !nodes_[i]->trace().empty();
+    const bool ok = in_service && has_sample;
+    // Invalid entries are pinned to 0.0 — never the stale pre-fault sample.
+    out.values.push_back(ok ? nodes_[i]->trace().back().estimate_mps : 0.0);
+    out.valid.push_back(ok ? 1 : 0);
+  }
+  return out;
+}
+
+void FleetEngine::set_estimate_valid(std::size_t i, bool valid) {
+  estimate_valid_[i] = valid ? 1 : 0;
 }
 
 }  // namespace aqua::fleet

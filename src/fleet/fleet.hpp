@@ -50,6 +50,19 @@ struct FleetConfig {
 /// (1.6×), midday plateau, evening peak (1.3×) — compressed to `day`.
 [[nodiscard]] sim::Schedule diurnal_demand_pattern(util::Seconds day);
 
+/// Per-sensor estimates paired with a validity mask. `values[i]` is only
+/// meaningful where `valid[i]` is nonzero; for quarantined / faulted / never-
+/// sampled sensors the value is pinned to 0.0 rather than silently replaying
+/// the last pre-fault trace sample. Consumers that can degrade gracefully
+/// (LeakLocalizer's masked overloads) should use the mask; consumers that
+/// cannot must treat any invalid entry as missing data.
+struct MaskedEstimates {
+  std::vector<double> values;
+  std::vector<std::uint8_t> valid;
+
+  [[nodiscard]] std::size_t valid_count() const;
+};
+
 class FleetEngine {
  public:
   /// Captures the network's current demands as the diurnal base and solves
@@ -58,9 +71,20 @@ class FleetEngine {
               std::span<const SensorPlacement> placements,
               const FleetConfig& config);
 
-  /// Settles every sensor at zero flow (parallel across `pool` if given).
+  /// Runs the ISIF channel self-test on every sensor, then settles every
+  /// sensor at zero flow (parallel across `pool` if given). Self-test results
+  /// surface through SensorNode::last_self_test() and the FleetReport; the
+  /// test leaves the channel bit-identical to its pre-test state, so the
+  /// determinism checksum is unaffected.
   void commission(util::Seconds settle = util::Seconds{1.0},
                   util::ThreadPool* pool = nullptr);
+
+  /// Field-service action on one node, the supervisor's re-commission move:
+  /// reboot the electronics, run the channel self-test, re-null the direction
+  /// channel at zero flow. Serial by design — supervisor actions happen at
+  /// epoch boundaries on the caller's thread (determinism contract). Returns
+  /// the self-test result.
+  isif::ChannelSelfTestResult recommission(std::size_t i, util::Seconds settle);
 
   /// Per-sensor King's-law sweep (parallel across `pool` if given). Each die
   /// gets its own fit, absorbing its tolerance draws.
@@ -75,12 +99,21 @@ class FleetEngine {
   /// `pool` is null, else fanned out — bit-identical either way.
   void run(util::Seconds duration, util::ThreadPool* pool = nullptr);
 
+  /// Advances exactly one epoch: demand scaling, network solve, serial pipe
+  /// snapshots, sensor fan-out, clock tick. run() is a loop over this. Fault
+  /// injectors and the fleet supervisor act *between* step_epoch calls on the
+  /// caller's thread, which keeps campaigns bit-reproducible at any thread
+  /// count.
+  void step_epoch(util::ThreadPool* pool = nullptr);
+
   [[nodiscard]] FleetReport report() const;
 
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] const SensorNode& node(std::size_t i) const {
     return *nodes_[i];
   }
+  /// Mutable node access for the fault-injection and supervision layers.
+  [[nodiscard]] SensorNode& node(std::size_t i) { return *nodes_[i]; }
   [[nodiscard]] util::Seconds now() const { return t_; }
   [[nodiscard]] hydro::WaterNetwork& network() { return net_; }
   [[nodiscard]] const FleetConfig& config() const { return config_; }
@@ -89,8 +122,23 @@ class FleetEngine {
   [[nodiscard]] long long solve_failures() const { return solve_failures_; }
 
   /// Latest per-sensor mean-velocity estimates (sensor order) — the input a
-  /// cta::LeakLocalizer expects.
+  /// cta::LeakLocalizer expects. DEPRECATED for fault-aware consumers: for a
+  /// dead or quarantined sensor this replays the last trace sample as if it
+  /// were live data. Prefer latest_estimates_masked().
   [[nodiscard]] std::vector<double> latest_estimates() const;
+
+  /// Latest per-sensor estimates with a validity mask. A sensor is invalid
+  /// while it has never produced a sample or while the supervision layer has
+  /// marked it out of service (set_estimate_valid); invalid values are pinned
+  /// to 0.0 so garbage cannot leak into downstream consumers unnoticed.
+  [[nodiscard]] MaskedEstimates latest_estimates_masked() const;
+
+  /// Marks sensor `i`'s estimate stream (in)valid. The supervisor drives this
+  /// as nodes move through quarantine and recovery; all sensors start valid.
+  void set_estimate_valid(std::size_t i, bool valid);
+  [[nodiscard]] bool estimate_valid(std::size_t i) const {
+    return estimate_valid_[i] != 0;
+  }
 
  private:
   [[nodiscard]] PipeState pipe_state_for(const SensorNode& node) const;
@@ -103,6 +151,8 @@ class FleetEngine {
   FleetConfig config_;
   std::vector<double> base_demands_;  // indexed by NodeId; 0 for reservoirs
   std::vector<std::unique_ptr<SensorNode>> nodes_;
+  std::vector<std::uint8_t> estimate_valid_;  // per sensor, 1 = in service
+  std::vector<PipeState> scratch_states_;     // per-epoch snapshot scratch
   util::Seconds t_{0.0};
   long long solve_failures_ = 0;
 };

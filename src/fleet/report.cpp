@@ -33,6 +33,11 @@ FleetReport build_report(const hydro::WaterNetwork& net,
     SensorSummary s;
     s.index = node->index();
     s.pipe = node->placement().pipe;
+    if (const auto& st = node->last_self_test()) {
+      s.self_tested = true;
+      s.self_test_pass = st->pass;
+      s.self_test_gain_error = st->gain_error;
+    }
     const auto& trace = node->trace();
     s.samples = trace.size();
     double sum = 0.0, sum_sq_err = 0.0;

@@ -22,6 +22,11 @@ struct SensorSummary {
   double mean_estimate_mps = 0.0;
   double rms_error_mps = 0.0;  ///< estimate − truth, rms over the trace
   double final_true_mps = 0.0;
+  // Built-in self-test (ISIF test bus), from the most recent commission or
+  // re-commission of this node. `self_tested` is false if none ran.
+  bool self_tested = false;
+  bool self_test_pass = false;
+  double self_test_gain_error = 0.0;
 };
 
 /// Mass-balance residual at one junction: sensed inflow − sensed outflow −

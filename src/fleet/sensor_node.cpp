@@ -24,7 +24,17 @@ void SensorNode::reset() {
   anemometer_.reset();
   turbulence_state_ = 0.0;
   trace_.clear();
+  last_self_test_.reset();
   rng_ = initial_rng_;
+}
+
+void SensorNode::reboot() { anemometer_.reboot(); }
+
+isif::ChannelSelfTestResult SensorNode::run_self_test(
+    const isif::ChannelSelfTest& config) {
+  last_self_test_ =
+      isif::run_channel_self_test(anemometer_.platform().channel(0), config);
+  return *last_self_test_;
 }
 
 double SensorNode::profile_factor_at(double mean_mps,

@@ -15,6 +15,7 @@
 #include "core/cta.hpp"
 #include "core/estimator.hpp"
 #include "hydro/network.hpp"
+#include "isif/selftest.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -75,6 +76,29 @@ class SensorNode {
   /// direction channel.
   void commission(const PipeState& state, util::Seconds settle);
 
+  /// Runs the ISIF built-in self-test (paper §3's test bus: sine IP through
+  /// the conversion chain into a Goertzel detector) on the measurement
+  /// channel and stores the result for reporting. The helper resets the
+  /// channel before and after the tone, and channel reset rewinds its noise
+  /// streams (DESIGN.md §8), so on a freshly constructed, reset or rebooted
+  /// node the downstream bitstream — and the fleet determinism checksum — is
+  /// untouched.
+  isif::ChannelSelfTestResult run_self_test(
+      const isif::ChannelSelfTest& config = {});
+
+  /// Result of the most recent run_self_test(), if any ran since the last
+  /// reset().
+  [[nodiscard]] const std::optional<isif::ChannelSelfTestResult>&
+  last_self_test() const {
+    return last_self_test_;
+  }
+
+  /// Field reboot: restarts the electronics only (CtaAnemometer::reboot).
+  /// Die/package physics, the turbulence state (the flow does not reboot),
+  /// the trace, the calibration fit and this node's RNG stream position all
+  /// persist — the world does not rewind with the node.
+  void reboot();
+
   /// King's-law sweep: holds each *mean* speed (profile factor folded in, as
   /// in the field calibration against a reference meter) for `dwell` and fits
   /// the law. Installs a FlowEstimator compensated to the pipe ambient.
@@ -97,6 +121,11 @@ class SensorNode {
   [[nodiscard]] std::size_t index() const { return index_; }
   [[nodiscard]] const SensorPlacement& placement() const { return placement_; }
   [[nodiscard]] const std::vector<TraceSample>& trace() const { return trace_; }
+  /// Latest trace sample, or nullopt before the first epoch.
+  [[nodiscard]] std::optional<TraceSample> latest_sample() const {
+    if (trace_.empty()) return std::nullopt;
+    return trace_.back();
+  }
   [[nodiscard]] bool calibrated() const { return estimator_.has_value(); }
   [[nodiscard]] const cta::KingFit& fit() const { return estimator_->fit(); }
   [[nodiscard]] cta::CtaAnemometer& anemometer() { return anemometer_; }
@@ -126,6 +155,7 @@ class SensorNode {
   // Captures rng_ *after* the anemometer split above, for reset() rewind.
   util::Rng initial_rng_;
   std::optional<cta::FlowEstimator> estimator_;
+  std::optional<isif::ChannelSelfTestResult> last_self_test_;
   double turbulence_state_ = 0.0;
   std::vector<TraceSample> trace_;
 };

@@ -1,0 +1,195 @@
+#include "fleet/supervisor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace aqua::fleet {
+
+namespace {
+// Supervision telemetry. All observations are driven by simulation state, so
+// the counters are as deterministic as the traces themselves.
+const obs::Counter kQuarantines{"fleet.supervisor.quarantines"};
+const obs::Counter kRecoveries{"fleet.supervisor.recoveries"};
+const obs::Counter kFailures{"fleet.supervisor.failures"};
+const obs::Counter kRecommissions{"fleet.supervisor.recommission_attempts"};
+const obs::Counter kSelfTestFailures{"fleet.supervisor.self_test_failures"};
+// Epochs from the first faulty assessment of a streak to quarantine entry.
+const obs::Histogram kDetectionEpochs{"fleet.supervisor.detection_epochs",
+                                      obs::HistogramSpec{1.0, 64.0, 12, true}};
+
+/// Faults that no amount of clean readings should talk the supervisor out of:
+/// a broken membrane and a corroded package are physical damage, and a
+/// tripped watchdog latches until reboot.
+bool is_hard_fault(const std::vector<cta::FaultCode>& faults) {
+  for (const cta::FaultCode code : faults) {
+    if (code == cta::FaultCode::kMembraneBroken ||
+        code == cta::FaultCode::kPackageDegraded ||
+        code == cta::FaultCode::kWatchdog)
+      return true;
+  }
+  return false;
+}
+}  // namespace
+
+const char* node_health_state_name(NodeHealthState state) {
+  switch (state) {
+    case NodeHealthState::kHealthy: return "healthy";
+    case NodeHealthState::kSuspect: return "suspect";
+    case NodeHealthState::kQuarantined: return "quarantined";
+    case NodeHealthState::kProbation: return "probation";
+    case NodeHealthState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+FleetSupervisor::FleetSupervisor(FleetEngine& engine,
+                                 const SupervisorConfig& config)
+    : engine_(engine), config_(config), nodes_(engine.size()) {
+  if (config.suspect_epochs < 1 || config.probation_epochs < 1 ||
+      config.backoff_initial_epochs < 1 ||
+      config.backoff_max_epochs < config.backoff_initial_epochs ||
+      config.max_recommission_attempts < 1)
+    throw std::invalid_argument("FleetSupervisor: bad configuration");
+  monitors_.reserve(engine.size());
+  for (std::size_t i = 0; i < engine.size(); ++i) {
+    monitors_.emplace_back(config.health);
+    nodes_[i].backoff_next = config.backoff_initial_epochs;
+  }
+}
+
+std::size_t FleetSupervisor::count_in(NodeHealthState state) const {
+  std::size_t n = 0;
+  for (const NodeSupervision& sup : nodes_)
+    if (sup.state == state) ++n;
+  return n;
+}
+
+std::size_t FleetSupervisor::in_service_count() const {
+  return count_in(NodeHealthState::kHealthy) +
+         count_in(NodeHealthState::kSuspect);
+}
+
+void FleetSupervisor::enter_quarantine(std::size_t i, NodeSupervision& sup) {
+  // A probation relapse is a failed recovery attempt: the next wait doubles
+  // (capped), the classic backoff against flapping on a persistent fault.
+  if (sup.state == NodeHealthState::kProbation)
+    sup.backoff_next =
+        std::min(sup.backoff_next * 2, config_.backoff_max_epochs);
+  sup.state = NodeHealthState::kQuarantined;
+  sup.backoff_remaining = sup.backoff_next;
+  sup.quarantined_epoch = polls_;
+  sup.quarantined_t_s = engine_.now().value();
+  ++sup.quarantine_entries;
+  ++stats_.quarantines;
+  kQuarantines.add(1);
+  const double latency_epochs =
+      sup.first_fault_epoch >= 0
+          ? static_cast<double>(polls_ - sup.first_fault_epoch + 1)
+          : 1.0;
+  kDetectionEpochs.observe(latency_epochs);
+  sup.faulty_streak = 0;
+  sup.clean_streak = 0;
+  engine_.set_estimate_valid(i, false);
+  AQUA_TRACE_INSTANT_SIM("fleet.quarantine", engine_.now().value());
+  util::log_warn() << "supervisor: sensor " << i << " quarantined at t="
+                   << engine_.now().value() << " s ("
+                   << (sup.last_faults.empty()
+                           ? "no code"
+                           : cta::fault_label(sup.last_faults.front()))
+                   << "), backoff " << sup.backoff_remaining << " epochs";
+}
+
+void FleetSupervisor::attempt_recommission(std::size_t i,
+                                           NodeSupervision& sup) {
+  if (sup.recommission_attempts >= config_.max_recommission_attempts) {
+    sup.state = NodeHealthState::kFailed;
+    ++stats_.failures;
+    kFailures.add(1);
+    AQUA_TRACE_INSTANT_SIM("fleet.sensor_failed", engine_.now().value());
+    util::log_warn() << "supervisor: sensor " << i
+                     << " permanently failed after "
+                     << sup.recommission_attempts << " re-commission attempts";
+    return;
+  }
+  ++sup.recommission_attempts;
+  ++stats_.recommission_attempts;
+  kRecommissions.add(1);
+  AQUA_TRACE_SPAN_SIM("fleet.recommission_attempt", engine_.now().value());
+
+  const isif::ChannelSelfTestResult self_test =
+      engine_.recommission(i, config_.recommission_settle);
+  monitors_[i].reset();  // the post-reboot loop starts a fresh history
+  if (config_.require_self_test_pass && !self_test.pass) {
+    ++stats_.self_test_failures;
+    kSelfTestFailures.add(1);
+    sup.backoff_next =
+        std::min(sup.backoff_next * 2, config_.backoff_max_epochs);
+    sup.backoff_remaining = sup.backoff_next;
+    return;  // still quarantined; wait out the doubled backoff
+  }
+  sup.state = NodeHealthState::kProbation;
+  sup.clean_streak = 0;
+}
+
+void FleetSupervisor::poll() {
+  ++polls_;
+  for (std::size_t i = 0; i < engine_.size(); ++i) {
+    NodeSupervision& sup = nodes_[i];
+    switch (sup.state) {
+      case NodeHealthState::kFailed:
+        continue;
+      case NodeHealthState::kQuarantined:
+        if (--sup.backoff_remaining <= 0) attempt_recommission(i, sup);
+        continue;
+      default:
+        break;
+    }
+
+    const std::optional<TraceSample> sample = engine_.node(i).latest_sample();
+    if (!sample) continue;  // no epoch has run yet
+    const cta::FlowReading reading{
+        util::metres_per_second(sample->estimate_mps), sample->direction,
+        sample->filtered_voltage};
+    const std::vector<cta::FaultCode> faults = monitors_[i].assess(
+        engine_.node(i).anemometer(), reading, engine_.config().epoch);
+
+    if (!faults.empty()) {
+      if (sup.faulty_streak == 0) sup.first_fault_epoch = polls_;
+      ++sup.faulty_streak;
+      sup.last_faults = faults;
+      if (sup.state == NodeHealthState::kProbation || is_hard_fault(faults) ||
+          sup.faulty_streak >= config_.suspect_epochs) {
+        enter_quarantine(i, sup);
+      } else {
+        sup.state = NodeHealthState::kSuspect;
+      }
+      continue;
+    }
+
+    // Clean poll.
+    sup.faulty_streak = 0;
+    sup.first_fault_epoch = -1;
+    if (sup.state == NodeHealthState::kSuspect) {
+      sup.state = NodeHealthState::kHealthy;
+    } else if (sup.state == NodeHealthState::kProbation) {
+      if (++sup.clean_streak >= config_.probation_epochs) {
+        sup.state = NodeHealthState::kHealthy;
+        sup.clean_streak = 0;
+        sup.recovered_t_s = engine_.now().value();
+        sup.backoff_next = config_.backoff_initial_epochs;
+        sup.recommission_attempts = 0;
+        ++sup.recoveries;
+        ++stats_.recoveries;
+        kRecoveries.add(1);
+        engine_.set_estimate_valid(i, true);
+        AQUA_TRACE_INSTANT_SIM("fleet.recovered", engine_.now().value());
+      }
+    }
+  }
+}
+
+}  // namespace aqua::fleet

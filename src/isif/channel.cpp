@@ -33,10 +33,25 @@ InputChannel::InputChannel(const ChannelConfig& config, util::Rng rng)
 }
 
 ChannelSample InputChannel::make_sample(double normalised) {
+  // Injected front-end offset drift, referred to the channel input. Guarded
+  // so the healthy path runs zero extra FP operations (adding 0.0 would flip
+  // the sign bit of a −0.0 sample and break bit-reproducibility).
+  if (fault_.offset_volts != 0.0)
+    normalised +=
+        fault_.offset_volts * amp_.gain() / config_.adc.full_scale.value();
   // CIC output is the recovered signal normalised to ±1 of the ADC full
   // scale; quantise to the channel's output word.
-  const std::int32_t code =
-      dsp::quantize_code(normalised, 1.0, config_.output_bits);
+  std::int32_t code = dsp::quantize_code(normalised, 1.0, config_.output_bits);
+  if (fault_.stuck_high != 0 || fault_.stuck_low != 0) {
+    // Stuck bits act on the offset-binary word the readout register holds.
+    const std::uint32_t half = 1u << (config_.output_bits - 1);
+    std::uint32_t raw =
+        static_cast<std::uint32_t>(code + static_cast<std::int32_t>(half));
+    raw |= fault_.stuck_high;
+    raw &= ~fault_.stuck_low;
+    raw &= (half << 1) - 1;
+    code = static_cast<std::int32_t>(raw) - static_cast<std::int32_t>(half);
+  }
   const double adc_input_volts =
       dsp::dequantize_code(code, config_.adc.full_scale.value(),
                            config_.output_bits);

@@ -38,6 +38,22 @@ struct ChannelSample {
   bool overload;       ///< modulator overloaded during the block
 };
 
+/// Hardware defect injected into the conversion result (src/fault): stuck
+/// output bits (a cracked bond wire or latched flip-flop in the decimator
+/// readout) and/or an input-referred offset drift (front-end bias shift from
+/// moisture or temperature). Masks act on the offset-binary output word.
+/// Defaults are identity; while identity the sample path executes no extra
+/// floating-point operation, so a compiled-in-but-inactive fault cannot
+/// perturb the bitstream.
+struct ChannelFault {
+  std::uint32_t stuck_high = 0;  ///< bits forced to 1
+  std::uint32_t stuck_low = 0;   ///< bits forced to 0
+  double offset_volts = 0.0;     ///< input-referred offset
+  [[nodiscard]] bool any() const {
+    return stuck_high != 0 || stuck_low != 0 || offset_volts != 0.0;
+  }
+};
+
 class InputChannel {
  public:
   InputChannel(const ChannelConfig& config, util::Rng rng);
@@ -68,6 +84,14 @@ class InputChannel {
   void set_gain(double gain) { amp_.set_gain(gain); }
   [[nodiscard]] double gain() const { return amp_.gain(); }
 
+  /// Installs (or, with a default-constructed fault, removes) a hardware
+  /// defect on the conversion result. A physical defect is not cleared by
+  /// reset() — a chip reset does not re-solder a bond wire; only the injector
+  /// that modelled the defect removes it.
+  void inject_fault(const ChannelFault& fault) { fault_ = fault; }
+  void clear_fault() { fault_ = ChannelFault{}; }
+  [[nodiscard]] const ChannelFault& injected_fault() const { return fault_; }
+
   [[nodiscard]] const ChannelConfig& config() const { return config_; }
   [[nodiscard]] util::Hertz output_rate() const;
   [[nodiscard]] util::Seconds tick_period() const;
@@ -84,6 +108,7 @@ class InputChannel {
   analog::RcLowpass lpf_;
   analog::SigmaDeltaModulator adc_;
   dsp::CicDecimator cic_;
+  ChannelFault fault_{};
   bool overload_latch_ = false;
   bool overload_episode_ = false;  // edge detector for trace instants only
   int frame_phase_ = 0;

@@ -30,6 +30,12 @@ void DacController::reset() {
   dac_.reset();
 }
 
+void DacController::set_supply_droop(double factor) {
+  if (factor <= 0.0 || factor > 1.0)
+    throw std::invalid_argument("DacController: supply droop outside (0,1]");
+  droop_ = factor;
+}
+
 Volts DacController::update(Seconds dt) {
   int next = target_;
   if (max_step_ > 0) {
@@ -37,7 +43,9 @@ Volts DacController::update(Seconds dt) {
     next = dac_.code() + delta;
   }
   dac_.write_code(next);
-  return dac_.step(dt);
+  const Volts out = dac_.step(dt);
+  if (droop_ != 1.0) return Volts{out.value() * droop_};
+  return out;
 }
 
 }  // namespace aqua::isif

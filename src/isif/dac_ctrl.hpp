@@ -23,8 +23,17 @@ class DacController {
   /// settling; returns the DAC output voltage.
   util::Volts update(util::Seconds dt);
 
-  /// Post-construction state: target 0 and the DAC's own reset.
+  /// Post-construction state: target 0 and the DAC's own reset. A supply
+  /// droop (environmental, see set_supply_droop) is not cleared — a chip
+  /// reset does not restore a browned-out rail.
   void reset();
+
+  /// Fault-injection port (src/fault): scales the analog output rail by
+  /// `factor` in (0, 1] — a supply brownout. 1.0 restores the nominal rail;
+  /// at 1.0 the output path executes no extra floating-point operation, so a
+  /// compiled-in-but-inactive brownout cannot perturb the bitstream.
+  void set_supply_droop(double factor);
+  [[nodiscard]] double supply_droop() const { return droop_; }
 
   [[nodiscard]] int current_code() const { return dac_.code(); }
   [[nodiscard]] int target_code() const { return target_; }
@@ -34,6 +43,7 @@ class DacController {
   analog::ThermometerDac dac_;
   int target_ = 0;
   int max_step_;
+  double droop_ = 1.0;
 };
 
 }  // namespace aqua::isif

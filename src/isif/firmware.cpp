@@ -18,8 +18,18 @@ void Firmware::add_task(std::string name, int divisor, int cycles,
   tasks_.push_back(Task{std::move(name), divisor, cycles, std::move(body)});
 }
 
+void Firmware::inject_overrun_cycles(double cycles) {
+  if (cycles < 0.0)
+    throw std::invalid_argument("Firmware: negative overrun cycles");
+  pending_overrun_cycles_ += cycles;
+}
+
 void Firmware::tick() {
   double tick_cycles = 0.0;
+  if (pending_overrun_cycles_ > 0.0) {
+    tick_cycles = pending_overrun_cycles_;
+    pending_overrun_cycles_ = 0.0;
+  }
   for (Task& t : tasks_) {
     if (ticks_ % t.divisor == 0) {
       t.body();
@@ -36,6 +46,7 @@ void Firmware::reset() {
   ticks_ = 0;
   total_cycles_ = 0.0;
   peak_tick_cycles_ = 0.0;
+  pending_overrun_cycles_ = 0.0;
   watchdog_ = false;
 }
 

@@ -32,9 +32,16 @@ class Firmware {
   /// Runs due tasks for this base tick.
   void tick();
 
-  /// Clears the tick counter, load accounting and watchdog; the registered
-  /// task table (configuration, not state) is kept.
+  /// Clears the tick counter, load accounting, watchdog and any pending
+  /// injected overrun; the registered task table (configuration, not state)
+  /// is kept.
   void reset();
+
+  /// Fault-injection port (src/fault): steals `cycles` extra cycles on the
+  /// next tick (a runaway interrupt handler). If the stolen cycles push the
+  /// tick past the per-period budget the watchdog latches through the normal
+  /// accounting path; reset() (a reboot) clears it.
+  void inject_overrun_cycles(double cycles);
 
   /// Average CPU load (fraction of available cycles) since construction.
   [[nodiscard]] double average_load() const;
@@ -61,6 +68,7 @@ class Firmware {
   long long ticks_ = 0;
   double total_cycles_ = 0.0;
   double peak_tick_cycles_ = 0.0;
+  double pending_overrun_cycles_ = 0.0;
   bool watchdog_ = false;
 };
 

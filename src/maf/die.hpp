@@ -109,6 +109,11 @@ class MafDie {
   /// heaters then read open (very large resistance).
   [[nodiscard]] bool membrane_intact() const { return membrane_intact_; }
 
+  /// Fault-injection port (src/fault): ruptures the membrane as a water-hammer
+  /// overpressure spike would — latched exactly like the physical path through
+  /// step(); only reset() (a new die) restores it.
+  void damage_membrane() { membrane_intact_ = false; }
+
   /// Convective film conductance heater→fluid (W/K) at the given conditions
   /// for a clean surface — exposed for calibration sanity checks.
   [[nodiscard]] double clean_film_conductance(const Environment& env,

@@ -52,4 +52,12 @@ void FoulingState::clean() {
   deposit_thickness_ = 0.0;
 }
 
+void FoulingState::set_bubble_coverage(double coverage) {
+  bubble_coverage_ = std::clamp(coverage, 0.0, 0.95);
+}
+
+void FoulingState::set_deposit_thickness(double thickness_m) {
+  deposit_thickness_ = std::max(0.0, thickness_m);
+}
+
 }  // namespace aqua::maf

@@ -47,6 +47,17 @@ class FoulingState {
   /// Resets to a clean surface (fresh die or after cleaning).
   void clean();
 
+  // --- fault-injection ports (src/fault) -------------------------------------
+  /// Forces the bubble coverage to `coverage` (clamped to [0, 0.95]): a slug
+  /// of undissolved air adhering to the element, as a fault campaign injects
+  /// it. Subsequent step() dynamics (shear detachment, nucleation) act on the
+  /// forced value, so injected bubbles shed naturally once flow resumes.
+  void set_bubble_coverage(double coverage);
+
+  /// Forces the CaCO3 deposit thickness (m, clamped to >= 0): an accelerated
+  /// fouling ramp. step() keeps growing it per the scaling kinetics.
+  void set_deposit_thickness(double thickness_m);
+
   [[nodiscard]] const FoulingParameters& parameters() const { return params_; }
   void set_parameters(const FoulingParameters& p) { params_ = p; }
 

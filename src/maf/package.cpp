@@ -25,6 +25,10 @@ void Package::reset() {
   rng_ = initial_rng_;
 }
 
+void Package::inject_moisture(double amount) {
+  moisture_ = std::clamp(moisture_ + std::max(0.0, amount), 0.0, 1.0);
+}
+
 void Package::step(Seconds dt, Pascals pressure) {
   // Moisture ingress: pressure-driven creep through whatever the seal leaves
   // open. A perfect seal admits (almost) nothing; ingress saturates at 1.

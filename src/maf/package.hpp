@@ -59,6 +59,14 @@ class Package {
   /// Fresh assembly again: dry, pristine, pitting draw stream rewound.
   void reset();
 
+  /// Fault-injection port (src/fault): adds `amount` of moisture fraction
+  /// (clamped to [0, 1] total) — a seal breach flooding the cavity. Moisture
+  /// cannot be driven back out in the field, so this is a permanent fault;
+  /// step() keeps corroding the wet contacts from here on.
+  void inject_moisture(double amount);
+
+  [[nodiscard]] double moisture() const { return moisture_; }
+
  private:
   PackageSpec spec_;
   util::Rng rng_;

@@ -25,6 +25,10 @@ const char* flight_kind_name(FlightRecordKind kind) {
       return "COMMISSION";
     case FlightRecordKind::kReset:
       return "RESET";
+    case FlightRecordKind::kReboot:
+      return "REBOOT";
+    case FlightRecordKind::kFaultInjected:
+      return "FAULT_INJECTED";
   }
   return "UNKNOWN";
 }

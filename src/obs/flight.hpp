@@ -31,6 +31,9 @@ enum class FlightRecordKind : std::uint8_t {
   kDriveOff = 6,
   kCommission = 7,         ///< commissioning completed (value = iterations)
   kReset = 8,              ///< sensor reset to bootstrap state
+  kReboot = 9,             ///< electronics rebooted in the field (die/package
+                           ///< state untouched); the supervisor's recovery move
+  kFaultInjected = 10,     ///< a fault campaign injected a fault here
 };
 
 [[nodiscard]] const char* flight_kind_name(FlightRecordKind kind);

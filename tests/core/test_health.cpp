@@ -166,5 +166,105 @@ TEST(Health, Validation) {
   EXPECT_THROW(HealthMonitor{bad}, std::invalid_argument);
 }
 
+TEST(Health, ZeroDtIsBenign) {
+  // A repeated timestamp (paused scheduler, duplicated sample) must not
+  // divide by zero in the rate check nor advance the stuck counter.
+  util::Rng rng{10};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  anemo.run(Seconds{0.5}, water(0.5));
+  HealthMonitor monitor;
+  std::vector<FaultCode> faults;
+  for (int i = 0; i < 30; ++i)
+    faults = monitor.assess(anemo, reading_of(0.7), Seconds{0.0});
+  EXPECT_FALSE(has(faults, FaultCode::kRateLimit));
+  EXPECT_FALSE(has(faults, FaultCode::kStuckReading));
+  EXPECT_TRUE(monitor.healthy());
+}
+
+TEST(Health, ResetMidStreakRequiresFullCountAgain) {
+  util::Rng rng{11};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  anemo.run(Seconds{0.5}, water(0.5));
+  HealthMonitor monitor;  // stuck_count = 20
+  for (int i = 0; i < 15; ++i)
+    (void)monitor.assess(anemo, reading_of(0.7), Seconds{0.1});
+  monitor.reset();
+  std::vector<FaultCode> faults;
+  for (int i = 0; i < 19; ++i)
+    faults = monitor.assess(anemo, reading_of(0.7), Seconds{0.1});
+  // 15 pre-reset + 19 post-reset: still short of a full fresh streak (the
+  // first post-reset assessment only primes prev_speed_).
+  EXPECT_FALSE(has(faults, FaultCode::kStuckReading));
+  for (int i = 0; i < 3; ++i)
+    faults = monitor.assess(anemo, reading_of(0.7), Seconds{0.1});
+  EXPECT_TRUE(has(faults, FaultCode::kStuckReading));
+}
+
+TEST(Health, HealthyFlagRelatchesAfterRecovery) {
+  util::Rng rng{12};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  anemo.run(Seconds{0.5}, water(0.5));
+  HealthMonitor monitor;
+  // dt of 2 s keeps the 3 m/s swings under the rate limit: only the range
+  // check should drive the healthy flag here.
+  EXPECT_FALSE(
+      monitor.assess(anemo, reading_of(3.5), Seconds{2.0}).empty());
+  EXPECT_FALSE(monitor.healthy());
+  EXPECT_TRUE(monitor.assess(anemo, reading_of(0.5), Seconds{2.0}).empty());
+  EXPECT_TRUE(monitor.healthy());  // recovery clears the flag...
+  EXPECT_FALSE(
+      monitor.assess(anemo, reading_of(3.5), Seconds{2.0}).empty());
+  EXPECT_FALSE(monitor.healthy());  // ...and the next fault re-latches it
+}
+
+TEST(Health, FaultLabelRoundTripsOverEveryCode) {
+  const FaultCode all[] = {
+      FaultCode::kMembraneBroken, FaultCode::kPackageDegraded,
+      FaultCode::kAdcOverload,    FaultCode::kWatchdog,
+      FaultCode::kRangeHigh,      FaultCode::kRangeLow,
+      FaultCode::kRateLimit,      FaultCode::kStuckReading};
+  std::vector<std::string> names;
+  for (const FaultCode code : all) {
+    ASSERT_NE(fault_label(code), nullptr);
+    EXPECT_EQ(fault_name(code), fault_label(code));
+    EXPECT_EQ(fault_name(code).find("unknown"), std::string::npos);
+    names.push_back(fault_name(code));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(Health, ZeroReadingWithLiveVoltageIsNotStuck) {
+  // Below the King-fit dead band a healthy sensor on a stagnant pipe reads
+  // exactly 0.0 forever; the dithering bridge voltage is what proves the
+  // channel alive, so the stuck counter must not advance.
+  util::Rng rng{13};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  anemo.run(Seconds{0.5}, water(0.0));
+  HealthMonitor monitor;
+  std::vector<FaultCode> faults;
+  for (int i = 0; i < 40; ++i) {
+    const double dithered_u = 1.0 + 1e-3 * (i % 5);  // ΣΔ noise-floor wiggle
+    faults = monitor.assess(
+        anemo, FlowReading{metres_per_second(0.0), 1, dithered_u},
+        Seconds{0.1});
+  }
+  EXPECT_FALSE(has(faults, FaultCode::kStuckReading));
+}
+
+TEST(Health, ZeroReadingWithFrozenVoltageIsStuck) {
+  // The converse: an exactly-zero reading with a bridge voltage frozen below
+  // stuck_epsilon_volts is a dead channel, not a stagnant pipe.
+  util::Rng rng{14};
+  CtaAnemometer anemo{maf::MafSpec{}, fast_isif_config(), CtaConfig{}, rng};
+  anemo.run(Seconds{0.5}, water(0.0));
+  HealthMonitor monitor;
+  std::vector<FaultCode> faults;
+  for (int i = 0; i < 25; ++i)
+    faults = monitor.assess(
+        anemo, FlowReading{metres_per_second(0.0), 1, 1.0}, Seconds{0.1});
+  EXPECT_TRUE(has(faults, FaultCode::kStuckReading));
+}
+
 }  // namespace
 }  // namespace aqua::cta
