@@ -21,6 +21,12 @@ come in two characters:
 * channel_tracing_off_over_block ratio >= 0.8 — machine-independent companion
   for the tracing overhead: both sides run in the same binary seconds apart,
   so a >20 % gap is the instrumentation, not the runner.
+* scaling.fleet_scaling_efficiency >= 0.8     — machine-independent. The fleet
+  sweep normalises each pool mode's speedup by min(threads, hardware threads),
+  so ideal is 1.0 whether the runner has 1 core or 64; dropping below 0.8
+  means the sharded epoch loop stopped scaling (serialisation, queue overhead,
+  imbalance), not that the runner is slow. scaling.deterministic must also be
+  true — a checksum mismatch at 1k sensors is a broken determinism contract.
 
 Other stage rates are reported but only warn: they feed the artifact for
 trend-watching, not the gate.
@@ -32,6 +38,7 @@ import json
 import sys
 
 REGRESSION_SLACK = 0.20  # fail below 80 % of the baseline throughput
+SCALING_EFFICIENCY_FLOOR = 0.80  # hardware-normalised, so machine-independent
 GATED_KEYS = ["channel_block_sps", "channel_block_tracing_off_sps"]
 RATIO_KEY = "channel_block_over_scalar"
 TRACING_RATIO_KEY = "channel_tracing_off_over_block"
@@ -46,9 +53,9 @@ WARN_KEYS = [
 ]
 
 
-def load_stages(path, role):
-    """Loads the "stages" object of a report; emits ::error and returns None
-    on a missing, unreadable, or unparsable file (instead of a traceback)."""
+def load_report(path, role):
+    """Loads a report JSON; emits ::error and returns None on a missing,
+    unreadable, or unparsable file (instead of a traceback)."""
     try:
         with open(path) as f:
             report = json.load(f)
@@ -60,12 +67,55 @@ def load_stages(path, role):
         print(f"::error::{role} file {path} is not valid JSON ({exc}) — "
               "truncated bench run or corrupted artifact")
         return None
+    return report
+
+
+def load_stages(path, role):
+    """The "stages" object of a report, or None (with ::error) if absent."""
+    report = load_report(path, role)
+    if report is None:
+        return None
     stages = report.get("stages")
     if not isinstance(stages, dict):
         print(f"::error::{role} file {path} has no \"stages\" object — "
               "bench_fleet did not write its per-stage section")
         return None
     return stages
+
+
+def check_scaling(path):
+    """Gates the fleet scaling sweep: determinism plus the hardware-normalised
+    efficiency floor. Both are properties of the measured run alone — no
+    baseline needed, so runner hardware never enters the comparison."""
+    report = load_report(path, "measured")
+    if report is None:
+        return True
+    scaling = report.get("scaling")
+    if not isinstance(scaling, dict):
+        print(f"::error::{path} has no \"scaling\" object — bench_fleet did "
+              "not run its fleet scaling sweep")
+        return True
+
+    failed = False
+    sensors = scaling.get("sensors", 0)
+    hw = scaling.get("hardware_threads", 0)
+    if not scaling.get("deterministic", False):
+        print(f"::error::fleet scaling sweep at {sensors} sensors produced "
+              "divergent trace checksums across thread counts — the "
+              "determinism contract is broken")
+        failed = True
+    efficiency = scaling.get("fleet_scaling_efficiency", 0.0)
+    print(f"fleet_scaling_efficiency: {efficiency:.2f} at {sensors} sensors, "
+          f"{hw} hardware threads "
+          f"(must stay >= {SCALING_EFFICIENCY_FLOOR:.1f}; ideal 1.0)")
+    if efficiency < SCALING_EFFICIENCY_FLOOR:
+        print("::error::the sharded fleet epoch loop fell below "
+              f"{SCALING_EFFICIENCY_FLOOR:.0%} of ideal thread scaling — "
+              "the ratio is normalised by available hardware threads, so "
+              "this is a scheduling/serialisation regression, not a slow "
+              "runner")
+        failed = True
+    return failed
 
 
 def main(argv):
@@ -77,7 +127,7 @@ def main(argv):
     if measured is None or baseline is None:
         return 1
 
-    failed = False
+    failed = check_scaling(argv[1])
 
     for key in GATED_KEYS:
         if key not in measured:

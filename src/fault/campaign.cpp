@@ -249,6 +249,10 @@ CampaignSummary run_campaign(fleet::FleetEngine& engine,
 
   const long long epochs = static_cast<long long>(
       std::ceil(duration.value() / engine.config().epoch.value()));
+  // Injection, supervision and outcome scans all run serially between epochs
+  // (the determinism contract), so the whole loop can ride one persistent
+  // worker team instead of re-enqueueing shard tasks every epoch.
+  const fleet::FleetEngine::TeamSession team{engine, pool};
   for (long long e = 0; e < epochs; ++e) {
     injector.update(engine.now());
     for (std::size_t k = 0; k < events.size(); ++k) {

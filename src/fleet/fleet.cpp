@@ -1,7 +1,10 @@
 #include "fleet/fleet.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <exception>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -24,6 +27,12 @@ const obs::Histogram kEpochWall{"fleet.epoch_wall_seconds",
                                 obs::HistogramSpec{1e-5, 100.0, 42, true}};
 const obs::Histogram kSensorStepWall{"fleet.sensor_step_wall_seconds",
                                      obs::HistogramSpec{1e-6, 10.0, 42, true}};
+// Sharding telemetry: how often the planner ran and how balanced its output
+// was (max shard cost over mean — 1.0 is a perfect split).
+const obs::Counter kRebalances{"fleet.shard.rebalances"};
+const obs::Histogram kShardImbalance{"fleet.shard.imbalance",
+                                     obs::HistogramSpec{1.0, 64.0, 24, true}};
+const obs::Gauge kShardCount{"fleet.shard.count"};
 }  // namespace
 
 sim::Schedule diurnal_demand_pattern(Seconds day) {
@@ -37,6 +46,20 @@ sim::Schedule diurnal_demand_pattern(Seconds day) {
       .hold(Seconds{0.12 * d})
       .ramp_to(0.3, Seconds{0.10 * d});            // back to night
   return pattern;
+}
+
+void FleetEngine::HotState::resize(std::size_t n) {
+  mean_velocity_mps.assign(n, 0.0);
+  point_velocity_mps.assign(n, 0.0);
+  pressure_pa.assign(n, 0.0);
+  temperature_k.assign(n, 0.0);
+  t_s.assign(n, 0.0);
+  bridge_voltage.assign(n, 0.0);
+  filtered_voltage.assign(n, 0.0);
+  estimate_mps.assign(n, 0.0);
+  direction.assign(n, 0);
+  has_sample.assign(n, 0);
+  cost_ewma_s.assign(n, 0.0);
 }
 
 FleetEngine::FleetEngine(hydro::WaterNetwork& network,
@@ -54,12 +77,14 @@ FleetEngine::FleetEngine(hydro::WaterNetwork& network,
         util::Rng::stream(config_.root_seed, i)));
   }
   estimate_valid_.assign(nodes_.size(), 1);
-  scratch_states_.resize(nodes_.size());
+  hot_.resize(nodes_.size());
 
   apply_demand_factor(config_.demand_factor.at(Seconds{0.0}));
   if (!net_.solve(config_.water_temperature))
     throw std::runtime_error("FleetEngine: initial network solve failed");
 }
+
+FleetEngine::~FleetEngine() { end_team(); }
 
 void FleetEngine::apply_demand_factor(double factor) {
   for (hydro::WaterNetwork::NodeId n = 0; n < net_.node_count(); ++n)
@@ -134,10 +159,126 @@ void FleetEngine::set_shared_fit(const cta::KingFit& fit) {
   for (auto& node : nodes_) node->set_fit(fit, config_.water_temperature);
 }
 
+void FleetEngine::begin_team(util::ThreadPool* pool) {
+  if (pool == nullptr) return;
+  if (team_ != nullptr && team_pool_ == pool) return;
+  end_team();
+  const std::size_t n = pool->thread_count();
+  // Worker w owns shards w, w+n, w+2n, … of whatever plan is current when an
+  // epoch is released — so manual plans with more shards than workers still
+  // execute completely.
+  team_ = std::make_unique<util::WorkerTeam>(
+      *pool, n, [this, n](std::size_t w) {
+        for (std::size_t s = w; s < plan_.shard_count(); s += n)
+          process_shard(s);
+      });
+  team_pool_ = pool;
+}
+
+void FleetEngine::end_team() {
+  team_.reset();  // ~WorkerTeam releases and joins the parked tasks
+  team_pool_ = nullptr;
+}
+
 void FleetEngine::run(Seconds duration, util::ThreadPool* pool) {
   const long long epochs = static_cast<long long>(
       std::ceil(duration.value() / config_.epoch.value()));
+  // Persistent-team fast path: park one epoch task per worker for the whole
+  // run. If the caller already scoped a TeamSession, reuse it.
+  const bool own_team = pool != nullptr && team_ == nullptr;
+  struct TeamGuard {
+    FleetEngine* engine;
+    ~TeamGuard() {
+      if (engine != nullptr) engine->end_team();
+    }
+  } guard{own_team ? this : nullptr};
+  if (own_team) begin_team(pool);
   for (long long e = 0; e < epochs; ++e) step_epoch(pool);
+}
+
+void FleetEngine::set_cost_hint(std::size_t i, double seconds) {
+  hot_.cost_ewma_s[i] = seconds;
+}
+
+void FleetEngine::set_shard_plan(ShardPlan plan) {
+  if (!plan.is_partition_of(nodes_.size()))
+    throw std::invalid_argument(
+        "FleetEngine::set_shard_plan: not a partition of the sensor indices");
+  plan_ = std::move(plan);
+  plan_manual_ = true;
+  kShardCount.set(static_cast<double>(plan_.shard_count()));
+}
+
+void FleetEngine::clear_shard_plan() { plan_manual_ = false; }
+
+void FleetEngine::rebalance_shards(std::size_t shard_count) {
+  plan_ = plan_shards(hot_.cost_ewma_s, shard_count);
+  ++rebalances_;
+  kRebalances.add(1);
+  kShardCount.set(static_cast<double>(plan_.shard_count()));
+  kShardImbalance.observe(shard_imbalance(plan_, hot_.cost_ewma_s));
+  AQUA_TRACE_INSTANT_SIM("fleet.shard_rebalance", t_.value());
+}
+
+void FleetEngine::ensure_plan(std::size_t shard_count) {
+  if (plan_manual_) return;  // pinned by set_shard_plan — validated partition
+  const bool stale = plan_.shard_count() != shard_count ||
+                     plan_.sensor_count() != nodes_.size();
+  const long long interval = config_.sharding.rebalance_interval_epochs;
+  const bool due =
+      interval > 0 && epoch_index_ > 0 && (epoch_index_ % interval) == 0;
+  if (stale || due) rebalance_shards(shard_count);
+}
+
+void FleetEngine::snapshot_epoch_inputs() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const PipeState state = pipe_state_for(*nodes_[i]);
+    hot_.mean_velocity_mps[i] = state.mean_velocity_mps;
+    hot_.point_velocity_mps[i] = state.point_velocity_mps;
+    hot_.pressure_pa[i] = state.pressure.value();
+    hot_.temperature_k[i] = state.temperature.value();
+  }
+}
+
+void FleetEngine::advance_sensor(std::size_t i) {
+  const obs::ScopedSpan sensor_span{"fleet.sensor", t_.value(),
+                                    static_cast<double>(i)};
+  const auto t0 = std::chrono::steady_clock::now();
+
+  PipeState state;
+  state.mean_velocity_mps = hot_.mean_velocity_mps[i];
+  state.point_velocity_mps = hot_.point_velocity_mps[i];
+  state.pressure = util::Pascals{hot_.pressure_pa[i]};
+  state.temperature = util::Kelvin{hot_.temperature_k[i]};
+  nodes_[i]->advance(state, config_.epoch);
+
+  // Publish the sample fields into the SoA mirror (disjoint slot — safe from
+  // any worker) so cold readers never chase the node pointer.
+  const TraceSample& s = nodes_[i]->trace().back();
+  hot_.t_s[i] = s.t_s;
+  hot_.bridge_voltage[i] = s.bridge_voltage;
+  hot_.filtered_voltage[i] = s.filtered_voltage;
+  hot_.estimate_mps[i] = s.estimate_mps;
+  hot_.direction[i] = static_cast<std::int8_t>(s.direction);
+  hot_.has_sample[i] = 1;
+  kSensorSteps.add(1);
+
+  const double dt = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  kSensorStepWall.observe(dt);
+  if (config_.sharding.measure_costs) {
+    const double alpha = config_.sharding.cost_ewma_alpha;
+    hot_.cost_ewma_s[i] = hot_.cost_ewma_s[i] <= 0.0
+                              ? dt
+                              : (1.0 - alpha) * hot_.cost_ewma_s[i] + alpha * dt;
+  }
+}
+
+void FleetEngine::process_shard(std::size_t shard) {
+  const obs::ScopedSpan shard_span{"fleet.shard", t_.value(),
+                                   static_cast<double>(shard)};
+  for (const std::uint32_t i : plan_.shards[shard]) advance_sensor(i);
 }
 
 void FleetEngine::step_epoch(util::ThreadPool* pool) {
@@ -154,16 +295,34 @@ void FleetEngine::step_epoch(util::ThreadPool* pool) {
     }
   }
   // Snapshot serially so every sensor task reads a frozen network state.
-  for (std::size_t i = 0; i < nodes_.size(); ++i)
-    scratch_states_[i] = pipe_state_for(*nodes_[i]);
-  dispatch(pool, [&](std::size_t i) {
-    const obs::ScopedTimer step_timer{kSensorStepWall};
-    const obs::ScopedSpan sensor_span{"fleet.sensor", t_.value(),
-                                      static_cast<double>(i)};
-    nodes_[i]->advance(scratch_states_[i], config_.epoch);
-    kSensorSteps.add(1);
-  });
+  snapshot_epoch_inputs();
+
+  const bool use_team = team_ != nullptr && pool == team_pool_;
+  if (use_team) {
+    ensure_plan(team_->workers());
+    team_->run_epoch();  // barrier out, barrier in — zero enqueues
+  } else if (pool != nullptr) {
+    // One coarse task per shard per epoch — never a per-sensor micro-task.
+    ensure_plan(pool->thread_count());
+    std::vector<std::future<void>> futures;
+    futures.reserve(plan_.shard_count());
+    for (std::size_t s = 0; s < plan_.shard_count(); ++s)
+      futures.push_back(pool->submit([this, s] { process_shard(s); }));
+    std::exception_ptr first;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  } else {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) advance_sensor(i);
+  }
+
   t_ += config_.epoch;
+  ++epoch_index_;
   kEpochs.add(1);
 }
 
@@ -174,10 +333,8 @@ FleetReport FleetEngine::report() const {
 std::vector<double> FleetEngine::latest_estimates() const {
   std::vector<double> estimates;
   estimates.reserve(nodes_.size());
-  for (const auto& node : nodes_)
-    estimates.push_back(node->trace().empty()
-                            ? 0.0
-                            : node->trace().back().estimate_mps);
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    estimates.push_back(hot_.has_sample[i] != 0 ? hot_.estimate_mps[i] : 0.0);
   return estimates;
 }
 
@@ -193,13 +350,26 @@ MaskedEstimates FleetEngine::latest_estimates_masked() const {
   out.valid.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const bool in_service = estimate_valid_[i] != 0;
-    const bool has_sample = !nodes_[i]->trace().empty();
+    const bool has_sample = hot_.has_sample[i] != 0;
     const bool ok = in_service && has_sample;
     // Invalid entries are pinned to 0.0 — never the stale pre-fault sample.
-    out.values.push_back(ok ? nodes_[i]->trace().back().estimate_mps : 0.0);
+    out.values.push_back(ok ? hot_.estimate_mps[i] : 0.0);
     out.valid.push_back(ok ? 1 : 0);
   }
   return out;
+}
+
+std::optional<TraceSample> FleetEngine::latest_sample_view(
+    std::size_t i) const {
+  if (hot_.has_sample[i] == 0) return std::nullopt;
+  TraceSample s;
+  s.t_s = hot_.t_s[i];
+  s.bridge_voltage = hot_.bridge_voltage[i];
+  s.filtered_voltage = hot_.filtered_voltage[i];
+  s.estimate_mps = hot_.estimate_mps[i];
+  s.true_mean_mps = hot_.mean_velocity_mps[i];
+  s.direction = hot_.direction[i];
+  return s;
 }
 
 void FleetEngine::set_estimate_valid(std::size_t i, bool valid) {

@@ -7,30 +7,61 @@
 // engine (serially) scales the junction demands by the diurnal factor and
 // re-solves the steady-state network; every sensor then integrates its
 // ΣΔ/CIC/PI loop across the epoch under its pipe's frozen hydraulic state —
-// on the caller's thread, or fanned out over a util::ThreadPool.
+// on the caller's thread, or sharded across a util::ThreadPool.
+//
+// Parallel execution model (DESIGN.md §12): sensors are partitioned into
+// cost-balanced shards (fleet::plan_shards over per-sensor EWMA step costs,
+// rebalanced between epochs). With a plain pool the engine submits exactly
+// one coarse task per shard per epoch; inside a TeamSession it goes further —
+// one persistent task parked per worker for the whole run, released once per
+// epoch through an EpochBarrier, zero per-epoch enqueues. The per-epoch hot
+// state (pipe snapshots in, sample fields out, step costs) lives in
+// structure-of-arrays form so an epoch streams memory instead of chasing
+// SensorNode pointers, and so readers (supervisor polls, leak estimates) can
+// scan the fleet without touching the nodes.
 //
 // Determinism contract (the load-bearing property): each SensorNode owns all
 // of its mutable state and draws from its private counter-based RNG stream
 // (util::Rng::stream(root_seed, sensor_index)), and epoch snapshots are
 // computed serially before the fan-out. Sensor tasks therefore commute, and
 // the same root seed produces bit-identical per-sensor traces for ANY thread
-// count — including none. The equivalence tests in tests/fleet/ enforce this.
+// count AND any shard assignment — including none. Shard plans are built from
+// wall-clock costs and are explicitly outside the contract; the simulation
+// output must not (and does not) depend on them. tests/fleet/ enforce both.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "fleet/report.hpp"
 #include "fleet/sensor_node.hpp"
+#include "fleet/shard.hpp"
 #include "hydro/network.hpp"
 #include "sim/schedule.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
+#include "util/worker_team.hpp"
 
 namespace aqua::fleet {
+
+/// Knobs of the cost-balanced sharding layer.
+struct ShardingConfig {
+  /// Auto-rebalance cadence, in epochs (0 = plan once, never rebalance).
+  /// Rebalancing happens serially between epochs and never changes results —
+  /// only wall-clock balance.
+  long long rebalance_interval_epochs = 16;
+  /// EWMA smoothing of the measured per-sensor step wall time:
+  /// cost ← (1−α)·cost + α·measured.
+  double cost_ewma_alpha = 0.25;
+  /// When false the engine stops folding measurements into the cost model —
+  /// costs stay wherever set_cost_hint() put them (tests use this to build
+  /// adversarial skews that reproduce exactly).
+  bool measure_costs = true;
+};
 
 struct FleetConfig {
   /// Template for every sensor (placement and RNG stream are per-node).
@@ -44,6 +75,7 @@ struct FleetConfig {
   util::Kelvin water_temperature = util::celsius(15.0);
   /// Absolute pressure floor the node pressure heads ride on.
   util::Pascals atmospheric = util::bar(1.0);
+  ShardingConfig sharding{};
 };
 
 /// Residential 24-hour demand pattern — night valley (0.3×), morning peak
@@ -71,6 +103,10 @@ class FleetEngine {
               std::span<const SensorPlacement> placements,
               const FleetConfig& config);
 
+  /// Ends any live worker team (begin_team misuse backstop; the pool must
+  /// still be alive — see begin_team).
+  ~FleetEngine();
+
   /// Runs the ISIF channel self-test on every sensor, then settles every
   /// sensor at zero flow (parallel across `pool` if given). Self-test results
   /// surface through SensorNode::last_self_test() and the FleetReport; the
@@ -96,15 +132,76 @@ class FleetEngine {
   void set_shared_fit(const cta::KingFit& fit);
 
   /// Co-simulates `duration` in epochs; serial on the caller's thread when
-  /// `pool` is null, else fanned out — bit-identical either way.
+  /// `pool` is null, else sharded — bit-identical either way. With a pool and
+  /// no already-active team this wraps the whole loop in a persistent worker
+  /// team, so the steady state runs with zero per-epoch task enqueues.
   void run(util::Seconds duration, util::ThreadPool* pool = nullptr);
 
   /// Advances exactly one epoch: demand scaling, network solve, serial pipe
-  /// snapshots, sensor fan-out, clock tick. run() is a loop over this. Fault
-  /// injectors and the fleet supervisor act *between* step_epoch calls on the
-  /// caller's thread, which keeps campaigns bit-reproducible at any thread
-  /// count.
+  /// snapshots, sharded sensor execution, clock tick. run() is a loop over
+  /// this. Fault injectors and the fleet supervisor act *between* step_epoch
+  /// calls on the caller's thread, which keeps campaigns bit-reproducible at
+  /// any thread count. Without an active team, a non-null pool gets exactly
+  /// one coarse task per shard this epoch (no per-sensor enqueue).
   void step_epoch(util::ThreadPool* pool = nullptr);
+
+  // --- persistent worker team (DESIGN.md §12) ------------------------------
+
+  /// Parks one persistent epoch task per pool worker; subsequent step_epoch
+  /// calls passing this pool release the team through a barrier instead of
+  /// enqueueing anything. The team OWNS every pool worker until end_team() —
+  /// do not run other work on the pool meanwhile, and always end the team
+  /// (or destroy the engine) before the pool is destroyed. No-op on nullptr;
+  /// an existing team on the same pool is kept, on another pool replaced.
+  void begin_team(util::ThreadPool* pool);
+  void end_team();
+  [[nodiscard]] bool team_active() const { return team_ != nullptr; }
+
+  /// RAII team scope — the campaign/supervision loops use this around their
+  /// step_epoch sequences:
+  ///   FleetEngine::TeamSession session{engine, pool.get()};
+  ///   for (...) { inject(); engine.step_epoch(pool.get()); poll(); }
+  class TeamSession {
+   public:
+    TeamSession(FleetEngine& engine, util::ThreadPool* pool)
+        : engine_(engine) {
+      engine_.begin_team(pool);
+    }
+    ~TeamSession() { engine_.end_team(); }
+    TeamSession(const TeamSession&) = delete;
+    TeamSession& operator=(const TeamSession&) = delete;
+
+   private:
+    FleetEngine& engine_;
+  };
+
+  // --- cost model and shard plan -------------------------------------------
+
+  /// Current partition of sensors into shards (rebuilt lazily for the pool in
+  /// use; empty until the first sharded epoch or explicit rebalance).
+  [[nodiscard]] const ShardPlan& shard_plan() const { return plan_; }
+
+  /// Replaces the plan with a caller-supplied partition and pins it (auto
+  /// rebalance stops until clear_shard_plan). Throws std::invalid_argument if
+  /// `plan` is not a partition of [0, size()). Any partition is legal — the
+  /// determinism contract makes them all produce identical simulations.
+  void set_shard_plan(ShardPlan plan);
+  /// Unpins a manual plan; cost-based planning resumes.
+  void clear_shard_plan();
+
+  /// Recomputes the LPT plan for `shard_count` shards from the current cost
+  /// model, immediately.
+  void rebalance_shards(std::size_t shard_count);
+  [[nodiscard]] long long rebalances() const { return rebalances_; }
+
+  /// Per-sensor predicted step cost (seconds; EWMA of measured wall time
+  /// unless pinned via set_cost_hint with measurement off).
+  [[nodiscard]] double cost_estimate(std::size_t i) const {
+    return hot_.cost_ewma_s[i];
+  }
+  /// Seeds/overrides sensor `i`'s cost estimate. With
+  /// ShardingConfig::measure_costs == false the hint is permanent.
+  void set_cost_hint(std::size_t i, double seconds);
 
   [[nodiscard]] FleetReport report() const;
 
@@ -120,6 +217,8 @@ class FleetEngine {
   /// Network solves that failed to converge during run() (previous solution
   /// carried over).
   [[nodiscard]] long long solve_failures() const { return solve_failures_; }
+  /// Epochs stepped since construction.
+  [[nodiscard]] long long epochs() const { return epoch_index_; }
 
   /// Latest per-sensor mean-velocity estimates (sensor order) — the input a
   /// cta::LeakLocalizer expects. DEPRECATED for fault-aware consumers: for a
@@ -133,6 +232,14 @@ class FleetEngine {
   /// to 0.0 so garbage cannot leak into downstream consumers unnoticed.
   [[nodiscard]] MaskedEstimates latest_estimates_masked() const;
 
+  /// Sensor `i`'s latest trace sample, served from the engine's SoA hot state
+  /// instead of the node's trace vector — the supervisor's per-epoch poll
+  /// reads this so a 10k-sensor scan streams four arrays rather than chasing
+  /// 10k node pointers. Field-for-field equal to node(i).latest_sample() for
+  /// every sample produced through step_epoch.
+  [[nodiscard]] std::optional<TraceSample> latest_sample_view(
+      std::size_t i) const;
+
   /// Marks sensor `i`'s estimate stream (in)valid. The supervisor drives this
   /// as nodes move through quarantine and recovery; all sensors start valid.
   void set_estimate_valid(std::size_t i, bool valid);
@@ -143,16 +250,61 @@ class FleetEngine {
  private:
   [[nodiscard]] PipeState pipe_state_for(const SensorNode& node) const;
   void apply_demand_factor(double factor);
-  /// Runs body(i) for every node — serially, or on the pool.
+  /// Runs body(i) for every node — serially, or on the pool (commission /
+  /// calibration fan-out; the epoch loop uses shards instead).
   void dispatch(util::ThreadPool* pool,
                 const std::function<void(std::size_t)>& body);
+  /// Serially freezes this epoch's per-sensor hydraulic state into the SoA
+  /// input arrays (same arithmetic, same order, as pipe_state_for).
+  void snapshot_epoch_inputs();
+  /// Advances sensor `i` one epoch from the SoA inputs and publishes its
+  /// sample fields + measured cost back into the SoA outputs. Runs on pool
+  /// workers for disjoint `i` — everything it touches is per-sensor.
+  void advance_sensor(std::size_t i);
+  /// Runs one shard of the current plan (ascending sensor order).
+  void process_shard(std::size_t shard);
+  /// Makes sure plan_ is a partition sized for `shard_count` shards, and
+  /// applies the between-epochs auto-rebalance cadence.
+  void ensure_plan(std::size_t shard_count);
 
   hydro::WaterNetwork& net_;
   FleetConfig config_;
   std::vector<double> base_demands_;  // indexed by NodeId; 0 for reservoirs
   std::vector<std::unique_ptr<SensorNode>> nodes_;
   std::vector<std::uint8_t> estimate_valid_;  // per sensor, 1 = in service
-  std::vector<PipeState> scratch_states_;     // per-epoch snapshot scratch
+
+  /// Per-epoch hot state, structure-of-arrays: one slot per sensor. The
+  /// epoch loop writes inputs serially, workers read inputs / write outputs
+  /// for disjoint sensors, and cold readers scan outputs without touching
+  /// SensorNode. Wall-clock costs live here too — they feed the shard
+  /// planner, never the simulation.
+  struct HotState {
+    // Epoch inputs (frozen network state).
+    std::vector<double> mean_velocity_mps;
+    std::vector<double> point_velocity_mps;
+    std::vector<double> pressure_pa;
+    std::vector<double> temperature_k;
+    // Latest-sample outputs (mirrors of the node's trace back()).
+    std::vector<double> t_s;
+    std::vector<double> bridge_voltage;
+    std::vector<double> filtered_voltage;
+    std::vector<double> estimate_mps;
+    std::vector<std::int8_t> direction;
+    std::vector<std::uint8_t> has_sample;
+    // Cost model (EWMA step seconds; scheduling only).
+    std::vector<double> cost_ewma_s;
+
+    void resize(std::size_t n);
+  };
+  HotState hot_;
+
+  ShardPlan plan_;
+  bool plan_manual_ = false;
+  long long epoch_index_ = 0;
+  long long rebalances_ = 0;
+  std::unique_ptr<util::WorkerTeam> team_;
+  util::ThreadPool* team_pool_ = nullptr;
+
   util::Seconds t_{0.0};
   long long solve_failures_ = 0;
 };

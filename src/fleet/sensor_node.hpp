@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -136,6 +137,13 @@ class SensorNode {
   /// Point/mean profile factor at the given mean speed in this node's pipe.
   [[nodiscard]] double profile_factor_at(double mean_mps,
                                          util::Kelvin temperature) const;
+
+  /// Fingerprint of this node's RNG stream position (util::Rng::fingerprint).
+  /// Two runs that consumed the same draws in the same order agree here; the
+  /// scaling tests use it to prove shard plans never alter RNG consumption.
+  [[nodiscard]] std::uint64_t rng_fingerprint() const {
+    return rng_.fingerprint();
+  }
 
  private:
   /// Environment at the probe head: point velocity + AR(1) turbulence.

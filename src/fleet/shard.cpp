@@ -1,0 +1,74 @@
+#include "fleet/shard.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace aqua::fleet {
+
+std::size_t ShardPlan::sensor_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards) n += shard.size();
+  return n;
+}
+
+bool ShardPlan::is_partition_of(std::size_t n) const {
+  std::vector<std::uint8_t> seen(n, 0);
+  for (const auto& shard : shards)
+    for (const std::uint32_t i : shard) {
+      if (i >= n || seen[i]) return false;
+      seen[i] = 1;
+    }
+  return sensor_count() == n;
+}
+
+ShardPlan plan_shards(std::span<const double> costs, std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  ShardPlan plan;
+  plan.shards.resize(shard_count);
+
+  // LPT: heaviest sensors first, ties broken by ascending index so the plan
+  // is a pure function of its inputs.
+  std::vector<std::uint32_t> order(costs.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&costs](std::uint32_t a, std::uint32_t b) {
+              if (costs[a] != costs[b]) return costs[a] > costs[b];
+              return a < b;
+            });
+
+  // Always drop the next sensor into the lightest shard (lowest index wins a
+  // tie). A linear argmin beats a heap here: shard counts are thread counts.
+  std::vector<double> load(shard_count, 0.0);
+  for (const std::uint32_t sensor : order) {
+    std::size_t lightest = 0;
+    for (std::size_t s = 1; s < shard_count; ++s)
+      if (load[s] < load[lightest]) lightest = s;
+    plan.shards[lightest].push_back(sensor);
+    load[lightest] += std::max(costs[sensor], 0.0);
+  }
+  for (auto& shard : plan.shards) std::sort(shard.begin(), shard.end());
+  return plan;
+}
+
+std::vector<double> shard_costs(const ShardPlan& plan,
+                                std::span<const double> costs) {
+  std::vector<double> totals(plan.shards.size(), 0.0);
+  for (std::size_t s = 0; s < plan.shards.size(); ++s)
+    for (const std::uint32_t i : plan.shards[s])
+      if (i < costs.size()) totals[s] += std::max(costs[i], 0.0);
+  return totals;
+}
+
+double shard_imbalance(const ShardPlan& plan, std::span<const double> costs) {
+  const std::vector<double> totals = shard_costs(plan, costs);
+  if (totals.empty()) return 1.0;
+  double sum = 0.0, max = 0.0;
+  for (const double t : totals) {
+    sum += t;
+    max = std::max(max, t);
+  }
+  const double mean = sum / static_cast<double>(totals.size());
+  return mean > 0.0 ? max / mean : 1.0;
+}
+
+}  // namespace aqua::fleet

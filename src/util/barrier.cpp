@@ -1,0 +1,31 @@
+#include "util/barrier.hpp"
+
+#include <stdexcept>
+
+namespace aqua::util {
+
+EpochBarrier::EpochBarrier(std::size_t participants)
+    : participants_(participants) {
+  if (participants == 0)
+    throw std::invalid_argument("EpochBarrier: zero participants");
+}
+
+std::uint64_t EpochBarrier::arrive_and_wait() {
+  std::unique_lock lock{mutex_};
+  const std::uint64_t gen = generation_;
+  if (++arrived_ == participants_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return gen;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen; });
+  return gen;
+}
+
+std::uint64_t EpochBarrier::generation() const {
+  std::lock_guard lock{mutex_};
+  return generation_;
+}
+
+}  // namespace aqua::util

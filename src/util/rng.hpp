@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 
@@ -79,6 +80,21 @@ class Rng {
 
   /// Derives an independent child stream; advances this stream.
   Rng split() { return Rng{next_u64()}; }
+
+  /// Read-only digest of the generator's exact position: state words plus the
+  /// Box-Muller spare. Equal fingerprints ⇒ identical future draw sequences.
+  /// The fleet scaling tests use this to prove that shard assignment never
+  /// changes any sensor's stream consumption order.
+  [[nodiscard]] std::uint64_t fingerprint() const {
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the state
+    const auto mix = [&h](std::uint64_t w) {
+      h ^= w;
+      h *= 0x100000001b3ull;
+    };
+    for (const std::uint64_t w : s_) mix(w);
+    mix(has_spare_ ? std::bit_cast<std::uint64_t>(spare_) | 1ull : 0ull);
+    return h;
+  }
 
   /// Counter-based stream derivation: the `stream_id`-th decorrelated stream
   /// of a root seed, without constructing or advancing any intermediate

@@ -11,6 +11,12 @@
 // Shutdown is graceful: the destructor stops accepting work, drains every
 // queued task, then joins. Exceptions thrown by a task are captured in the
 // std::future returned by submit() (or rethrown by parallel_for).
+//
+// Long-lived tasks: util::WorkerTeam parks one task per worker and releases
+// them once per epoch (the fleet engine's steady-state loop). While such
+// tasks are parked they count as in flight, so wait_idle() and the destructor
+// block until the team is destroyed — always tear down a WorkerTeam before
+// its pool.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,66 @@
+#include "util/worker_team.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace aqua::util {
+
+WorkerTeam::WorkerTeam(ThreadPool& pool, std::size_t workers,
+                       std::function<void(std::size_t)> body)
+    : body_(std::move(body)),
+      start_(workers + 1),
+      done_(workers + 1),
+      errors_(workers) {
+  if (workers == 0)
+    throw std::invalid_argument("WorkerTeam: zero workers");
+  if (workers > pool.thread_count())
+    throw std::invalid_argument(
+        "WorkerTeam: more workers than pool threads — the surplus tasks "
+        "would park forever and deadlock the team");
+  futures_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    futures_.push_back(pool.submit([this, w] { worker_loop(w); }));
+}
+
+WorkerTeam::~WorkerTeam() {
+  stop_ = true;  // published to the parked workers by the barrier's mutex
+  start_.arrive_and_wait();
+  // The loops return without touching the done barrier; join their tasks so
+  // the pool is reusable the moment this destructor returns.
+  for (auto& f : futures_) f.get();
+}
+
+void WorkerTeam::worker_loop(std::size_t worker) {
+  for (;;) {
+    start_.arrive_and_wait();
+    if (stop_) return;
+    {
+      AQUA_TRACE_SPAN("team.epoch");
+      try {
+        body_(worker);
+      } catch (...) {
+        // Never skip the end barrier: a missing participant would hang the
+        // whole team. The coordinator rethrows after the epoch completes.
+        errors_[worker] = std::current_exception();
+      }
+    }
+    done_.arrive_and_wait();
+  }
+}
+
+void WorkerTeam::run_epoch() {
+  start_.arrive_and_wait();
+  done_.arrive_and_wait();
+  ++epochs_;
+  for (auto& slot : errors_) {
+    if (slot) {
+      const std::exception_ptr first = slot;
+      for (auto& e : errors_) e = nullptr;
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+}  // namespace aqua::util

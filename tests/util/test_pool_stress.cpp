@@ -1,0 +1,175 @@
+// Concurrency battery for the persistent-worker primitives under the fleet
+// epoch loop: EpochBarrier generation semantics, WorkerTeam lifecycle
+// (startup, per-epoch release, exception capture, shutdown) and a sustained
+// stress loop. These tests run under the TSan CI job — the serial-phase
+// publication tests in particular exist to let the race detector prove the
+// barrier's happens-before edge, not just that the values come out right.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/barrier.hpp"
+#include "util/thread_pool.hpp"
+#include "util/worker_team.hpp"
+
+namespace aqua::util {
+namespace {
+
+TEST(EpochBarrier, RejectsZeroParticipants) {
+  EXPECT_THROW(EpochBarrier{0}, std::invalid_argument);
+}
+
+TEST(EpochBarrier, SingleParticipantAdvancesGenerations) {
+  EpochBarrier barrier{1};
+  EXPECT_EQ(barrier.participants(), 1u);
+  EXPECT_EQ(barrier.generation(), 0u);
+  for (std::uint64_t g = 0; g < 5; ++g)
+    EXPECT_EQ(barrier.arrive_and_wait(), g);
+  EXPECT_EQ(barrier.generation(), 5u);
+}
+
+TEST(EpochBarrier, ManyThreadsAgreeOnEveryGeneration) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kGenerations = 200;
+  EpochBarrier barrier{kThreads};
+  std::vector<std::vector<std::uint64_t>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t g = 0; g < kGenerations; ++g)
+        seen[t].push_back(barrier.arrive_and_wait());
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(seen[t].size(), kGenerations);
+    for (std::uint64_t g = 0; g < kGenerations; ++g)
+      EXPECT_EQ(seen[t][g], g) << "thread " << t;
+  }
+  EXPECT_EQ(barrier.generation(), kGenerations);
+}
+
+// The barrier's mutex must publish plain (non-atomic) writes made before one
+// generation to every waiter of that generation — the exact pattern the fleet
+// engine uses to hand frozen epoch snapshots to the team. TSan verifies the
+// happens-before edge; the assertions verify the values.
+TEST(EpochBarrier, PublishesPlainWritesAcrossGenerations) {
+  constexpr std::uint64_t kGenerations = 100;
+  EpochBarrier barrier{2};
+  std::uint64_t shared = 0;  // written by the producer, read by the consumer
+  std::uint64_t consumed = 0;
+  std::thread consumer([&] {
+    for (std::uint64_t g = 0; g < kGenerations; ++g) {
+      barrier.arrive_and_wait();  // producer wrote `shared` before arriving
+      consumed += shared;
+      barrier.arrive_and_wait();  // hand the slot back to the producer
+    }
+  });
+  std::uint64_t expected = 0;
+  for (std::uint64_t g = 0; g < kGenerations; ++g) {
+    shared = g + 1;
+    expected += g + 1;
+    barrier.arrive_and_wait();
+    barrier.arrive_and_wait();  // consumer finished reading `shared`
+  }
+  consumer.join();
+  EXPECT_EQ(consumed, expected);
+}
+
+TEST(WorkerTeam, RejectsZeroAndOversizedTeams) {
+  ThreadPool pool{2};
+  EXPECT_THROW(WorkerTeam(pool, 0, [](std::size_t) {}), std::invalid_argument);
+  // More workers than pool threads would park tasks that can never start.
+  EXPECT_THROW(WorkerTeam(pool, 3, [](std::size_t) {}), std::invalid_argument);
+}
+
+TEST(WorkerTeam, RunsBodyOncePerWorkerPerEpoch) {
+  constexpr std::size_t kWorkers = 4;
+  constexpr int kEpochs = 25;
+  ThreadPool pool{kWorkers};
+  std::vector<int> runs(kWorkers, 0);  // disjoint slots, no atomics needed
+  {
+    WorkerTeam team{pool, kWorkers, [&](std::size_t w) { ++runs[w]; }};
+    EXPECT_EQ(team.workers(), kWorkers);
+    for (int e = 0; e < kEpochs; ++e) team.run_epoch();
+    EXPECT_EQ(team.epochs(), static_cast<std::uint64_t>(kEpochs));
+  }
+  for (std::size_t w = 0; w < kWorkers; ++w) EXPECT_EQ(runs[w], kEpochs);
+}
+
+TEST(WorkerTeam, ShutdownWithoutEpochsLeavesPoolReusable) {
+  ThreadPool pool{2};
+  { WorkerTeam team{pool, 2, [](std::size_t) { FAIL() << "never released"; }}; }
+  // The parked tasks must be fully retired: new work runs and the pool drains.
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+  pool.wait_idle();
+  EXPECT_EQ(pool.in_flight(), 0u);
+}
+
+TEST(WorkerTeam, BodyExceptionRethrownAndTeamStaysUsable) {
+  constexpr std::size_t kWorkers = 3;
+  ThreadPool pool{kWorkers};
+  std::atomic<int> epoch{0};
+  std::vector<int> runs(kWorkers, 0);
+  WorkerTeam team{pool, kWorkers, [&](std::size_t w) {
+                    ++runs[w];
+                    if (epoch.load() == 1 && w == 1)
+                      throw std::runtime_error("worker 1 bad epoch");
+                  }};
+  team.run_epoch();
+  epoch.store(1);
+  // The throwing worker still reaches the epoch barrier: the epoch completes
+  // on every worker, THEN the coordinator sees the exception.
+  EXPECT_THROW(team.run_epoch(), std::runtime_error);
+  epoch.store(2);
+  team.run_epoch();  // captured error was cleared; the team is not poisoned
+  for (std::size_t w = 0; w < kWorkers; ++w) EXPECT_EQ(runs[w], 3);
+}
+
+TEST(WorkerTeam, BackToBackTeamsOnOnePool) {
+  ThreadPool pool{2};
+  for (int round = 0; round < 3; ++round) {
+    std::vector<int> runs(2, 0);
+    WorkerTeam team{pool, 2, [&](std::size_t w) { ++runs[w]; }};
+    team.run_epoch();
+    team.run_epoch();
+    EXPECT_EQ(runs[0], 2);
+    EXPECT_EQ(runs[1], 2);
+  }
+  pool.wait_idle();
+  EXPECT_EQ(pool.in_flight(), 0u);
+}
+
+// Sustained epoch loop mimicking the fleet engine's steady state: the
+// coordinator mutates shared (plain, non-atomic) per-epoch inputs while the
+// workers are parked, workers fold them into disjoint accumulators. Run under
+// TSan this is the determinism-critical handshake; 500 epochs gives the
+// scheduler room to interleave wake-ups badly.
+TEST(WorkerTeam, StressEpochLoopWithSerialPhases) {
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::uint64_t kEpochs = 500;
+  ThreadPool pool{kWorkers};
+  std::vector<std::uint64_t> input(kWorkers, 0);  // written between epochs
+  std::vector<std::uint64_t> acc(kWorkers, 0);    // worker-owned slots
+  {
+    WorkerTeam team{pool, kWorkers,
+                    [&](std::size_t w) { acc[w] += input[w]; }};
+    for (std::uint64_t e = 1; e <= kEpochs; ++e) {
+      for (std::size_t w = 0; w < kWorkers; ++w) input[w] = e * (w + 1);
+      team.run_epoch();
+    }
+  }
+  const std::uint64_t sum = kEpochs * (kEpochs + 1) / 2;
+  for (std::size_t w = 0; w < kWorkers; ++w)
+    EXPECT_EQ(acc[w], sum * (w + 1)) << "worker " << w;
+}
+
+}  // namespace
+}  // namespace aqua::util
