@@ -26,6 +26,8 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "simd/channel_batch.hpp"
+#include "simd/lanes.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -238,8 +240,15 @@ struct StageRates {
   /// like channel_block_sps (a tracing hook that slows the disabled hot path
   /// >20% is a regression).
   double channel_block_tracing_off = 0.0;
+  /// Cross-sensor SIMD lanes (simd::ChannelBatch over kBatchChannels
+  /// channels, aggregate channel-samples/s). channel_batch / channel_block is
+  /// the PR's gated ratio: per-sample cost with W sensors per instruction vs
+  /// the scalar fused frame.
+  double channel_batch = 0.0;
   double thermal_step = 0.0;
 };
+
+constexpr int kBatchChannels = 8;  // a multiple of every lane width
 
 // Repeats `body(batch)` until ~0.2 s has elapsed; returns samples/second.
 template <typename Body>
@@ -296,6 +305,18 @@ StageRates measure_stages() {
     isif::InputChannel chf{isif::ChannelConfig{}, util::Rng{2}};
     isif::InputChannel cht{isif::ChannelConfig{}, util::Rng{2}};
     std::vector<double> frame(kFrame, 1e-3);
+    // The batch side: kBatchChannels identical channels advanced as lane
+    // groups; aggregate channel-samples/s is directly comparable to
+    // channel_block (same per-sample work, W sensors per instruction).
+    std::vector<std::unique_ptr<isif::InputChannel>> batch_channels;
+    for (int c = 0; c < kBatchChannels; ++c)
+      batch_channels.push_back(std::make_unique<isif::InputChannel>(
+          isif::ChannelConfig{}, util::Rng{2}));
+    std::vector<simd::ChannelFrameInput> batch_in;
+    for (auto& bc : batch_channels)
+      batch_in.push_back(simd::ChannelFrameInput{bc.get(), frame});
+    std::vector<isif::ChannelSample> batch_out(
+        static_cast<std::size_t>(kBatchChannels));
     double sink = 0.0;
     for (int pass = 0; pass < 3; ++pass) {
       s.channel_scalar = std::max(
@@ -306,6 +327,11 @@ StageRates measure_stages() {
       s.channel_block = std::max(
           s.channel_block, rate_per_second(kFrame, [&] {
             sink += chf.process_frame(frame).value;
+          }));
+      s.channel_batch = std::max(
+          s.channel_batch, rate_per_second(kBatchChannels * kFrame, [&] {
+            simd::ChannelBatch::process_frames(batch_in, batch_out);
+            sink += batch_out.front().value;
           }));
       // Same block path under an explicit tracing kill-switch: the window
       // rides the same alternation so clock wander hits all three alike.
@@ -452,6 +478,9 @@ void write_json_report(const std::vector<std::pair<std::string, RunResult>>& mod
         "    \"channel_block_over_scalar\": %.3f,\n"
         "    \"channel_block_tracing_off_sps\": %.0f,\n"
         "    \"channel_tracing_off_over_block\": %.3f,\n"
+        "    \"lane_width\": %d,\n"
+        "    \"channel_batch_sps\": %.0f,\n"
+        "    \"channel_batch_over_block\": %.3f,\n"
         "    \"thermal_step_sps\": %.0f\n"
         "  },\n",
         stages.amp_scalar, stages.amp_block, stages.sigma_delta_block,
@@ -462,6 +491,10 @@ void write_json_report(const std::vector<std::pair<std::string, RunResult>>& mod
         stages.channel_block_tracing_off,
         stages.channel_block > 0.0
             ? stages.channel_block_tracing_off / stages.channel_block
+            : 0.0,
+        simd::active_lane_width(), stages.channel_batch,
+        stages.channel_block > 0.0
+            ? stages.channel_batch / stages.channel_block
             : 0.0,
         stages.thermal_step);
     out += buf;
@@ -561,6 +594,12 @@ int main() {
               stages.channel_block > 0.0
                   ? stages.channel_block_tracing_off / stages.channel_block
                   : 0.0);
+  std::printf("  %-22s %12.3e  (%.2fx block, lane width %d)\n",
+              "channel batch lanes", stages.channel_batch,
+              stages.channel_block > 0.0
+                  ? stages.channel_batch / stages.channel_block
+                  : 0.0,
+              simd::active_lane_width());
   std::printf("  %-22s %12.3e\n", "thermal die step", stages.thermal_step);
 
   write_json_report(results, stages, scaling, hw, deterministic);

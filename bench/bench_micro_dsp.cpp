@@ -17,6 +17,7 @@
 #include "hydro/network.hpp"
 #include "isif/channel.hpp"
 #include "maf/die.hpp"
+#include "simd/channel_batch.hpp"
 
 namespace {
 
@@ -141,6 +142,31 @@ void BM_CicPushBlock(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * r);
 }
 BENCHMARK(BM_CicPushBlock)->Arg(32)->Arg(128);
+
+// --- cross-sensor SIMD lanes in isolation (DESIGN.md §13) -------------------
+// One lane group of W sensors through just the ΣΔ quantiser loop / just the
+// CIC integrator cascade; items_per_second counts sensor-samples, so the
+// W = 1 row is directly comparable to the scalar block rows above and the
+// W > 1 rows show the per-instruction win of each stage alone. Widths beyond
+// the host ISA lower to scalar code — same values, no speedup.
+
+void BM_SigmaDeltaLanes(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::run_sigma_delta_lanes(kBlock, width));
+  }
+  state.SetItemsProcessed(state.iterations() * kBlock * width);
+}
+BENCHMARK(BM_SigmaDeltaLanes)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CicLanes(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::run_cic_lanes(kBlock, 3, kBlock, width));
+  }
+  state.SetItemsProcessed(state.iterations() * kBlock * width);
+}
+BENCHMARK(BM_CicLanes)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_ChannelFrame(benchmark::State& state) {
   isif::InputChannel ch{isif::ChannelConfig{}, util::Rng{2}};

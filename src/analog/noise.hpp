@@ -86,10 +86,16 @@ class FlickerNoise {
                   // round to the same bits (normal range) — still within the
                   // bit-identity contract.
     bool primed;
-    double draw() {
+    /// draw() with the row's Gaussian supplied by the caller instead of drawn
+    /// from the kernel's own stream. The cross-sensor SIMD layer uses this to
+    /// feed lane-parallel Gaussian draws through the (inherently sequential)
+    /// Voss–McCartney chain; draw() is exactly draw_with(rng.gaussian()) —
+    /// the row draw is the kernel's only stream use, so hoisting it to the
+    /// call site changes no value and no stream position.
+    double draw_with(double row_gaussian) {
       ++counter;
       const int row = std::countr_zero(counter) % kRows;
-      rows[static_cast<std::size_t>(row)] = rng.gaussian();
+      rows[static_cast<std::size_t>(row)] = row_gaussian;
       const int top = primed ? row : kRows - 1;
       for (int j = top; j >= 0; --j)
         partial[static_cast<std::size_t>(j)] =
@@ -98,6 +104,7 @@ class FlickerNoise {
       primed = true;
       return partial[0] * norm;
     }
+    double draw() { return draw_with(rng.gaussian()); }
   };
   [[nodiscard]] BlockKernel begin_block() const {
     BlockKernel k{rng_, rows_, {}, counter_,

@@ -240,18 +240,7 @@ void FleetEngine::snapshot_epoch_inputs() {
   }
 }
 
-void FleetEngine::advance_sensor(std::size_t i) {
-  const obs::ScopedSpan sensor_span{"fleet.sensor", t_.value(),
-                                    static_cast<double>(i)};
-  const auto t0 = std::chrono::steady_clock::now();
-
-  PipeState state;
-  state.mean_velocity_mps = hot_.mean_velocity_mps[i];
-  state.point_velocity_mps = hot_.point_velocity_mps[i];
-  state.pressure = util::Pascals{hot_.pressure_pa[i]};
-  state.temperature = util::Kelvin{hot_.temperature_k[i]};
-  nodes_[i]->advance(state, config_.epoch);
-
+void FleetEngine::publish_sample(std::size_t i) {
   // Publish the sample fields into the SoA mirror (disjoint slot — safe from
   // any worker) so cold readers never chase the node pointer.
   const TraceSample& s = nodes_[i]->trace().back();
@@ -262,23 +251,103 @@ void FleetEngine::advance_sensor(std::size_t i) {
   hot_.direction[i] = static_cast<std::int8_t>(s.direction);
   hot_.has_sample[i] = 1;
   kSensorSteps.add(1);
+}
+
+void FleetEngine::record_cost(std::size_t i, double seconds) {
+  kSensorStepWall.observe(seconds);
+  if (config_.sharding.measure_costs) {
+    const double alpha = config_.sharding.cost_ewma_alpha;
+    hot_.cost_ewma_s[i] =
+        hot_.cost_ewma_s[i] <= 0.0
+            ? seconds
+            : (1.0 - alpha) * hot_.cost_ewma_s[i] + alpha * seconds;
+  }
+}
+
+PipeState FleetEngine::snapshot_state(std::size_t i) const {
+  PipeState state;
+  state.mean_velocity_mps = hot_.mean_velocity_mps[i];
+  state.point_velocity_mps = hot_.point_velocity_mps[i];
+  state.pressure = util::Pascals{hot_.pressure_pa[i]};
+  state.temperature = util::Kelvin{hot_.temperature_k[i]};
+  return state;
+}
+
+void FleetEngine::advance_sensor(std::size_t i) {
+  const obs::ScopedSpan sensor_span{"fleet.sensor", t_.value(),
+                                    static_cast<double>(i)};
+  const auto t0 = std::chrono::steady_clock::now();
+
+  nodes_[i]->advance(snapshot_state(i), config_.epoch);
+  publish_sample(i);
 
   const double dt = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
-  kSensorStepWall.observe(dt);
-  if (config_.sharding.measure_costs) {
-    const double alpha = config_.sharding.cost_ewma_alpha;
-    hot_.cost_ewma_s[i] = hot_.cost_ewma_s[i] <= 0.0
-                              ? dt
-                              : (1.0 - alpha) * hot_.cost_ewma_s[i] + alpha * dt;
+  record_cost(i, dt);
+}
+
+void FleetEngine::advance_sensor_group(std::span<const std::uint32_t> ids) {
+  if (ids.empty()) return;
+  if (ids.size() == 1) {  // keep per-sensor spans/costs exact for singletons
+    advance_sensor(ids.front());
+    return;
   }
+  const obs::ScopedSpan group_span{"fleet.sensor_group", t_.value(),
+                                   static_cast<double>(ids.size())};
+  const auto t0 = std::chrono::steady_clock::now();
+
+  thread_local std::vector<SensorNode*> group_nodes;
+  thread_local std::vector<PipeState> group_states;
+  group_nodes.clear();
+  group_states.clear();
+  group_nodes.reserve(ids.size());
+  group_states.reserve(ids.size());
+  for (const std::uint32_t i : ids) {
+    group_nodes.push_back(nodes_[i].get());
+    group_states.push_back(snapshot_state(i));
+  }
+  SensorNode::advance_group(group_nodes, group_states, config_.epoch,
+                            config_.batch_lane_width);
+
+  // The lanes advance the whole group together, so per-sensor wall time is
+  // unobservable — split the group time evenly. The cost model only feeds
+  // the shard planner, which is outside the determinism contract anyway.
+  const double dt = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count() /
+                    static_cast<double>(ids.size());
+  for (const std::uint32_t i : ids) {
+    publish_sample(i);
+    record_cost(i, dt);
+  }
+}
+
+void FleetEngine::advance_sensors(std::span<const std::uint32_t> ids) {
+  if (config_.execution != ChannelExecution::kSimdBatch) {
+    for (const std::uint32_t i : ids) advance_sensor(i);
+    return;
+  }
+  // Batch mode: frame-aligned sensors form one lane group (ascending shard
+  // order); the rest — e.g. a node parked mid-frame by commissioning — step
+  // scalar. Either way each sensor consumes exactly its own RNG stream, so
+  // the split never perturbs results (DESIGN.md §13).
+  thread_local std::vector<std::uint32_t> batch_ids;
+  batch_ids.clear();
+  batch_ids.reserve(ids.size());
+  for (const std::uint32_t i : ids) {
+    if (nodes_[i]->batch_eligible())
+      batch_ids.push_back(i);
+    else
+      advance_sensor(i);
+  }
+  advance_sensor_group(batch_ids);
 }
 
 void FleetEngine::process_shard(std::size_t shard) {
   const obs::ScopedSpan shard_span{"fleet.shard", t_.value(),
                                    static_cast<double>(shard)};
-  for (const std::uint32_t i : plan_.shards[shard]) advance_sensor(i);
+  advance_sensors(plan_.shards[shard]);
 }
 
 void FleetEngine::step_epoch(util::ThreadPool* pool) {
@@ -318,7 +387,15 @@ void FleetEngine::step_epoch(util::ThreadPool* pool) {
     }
     if (first) std::rethrow_exception(first);
   } else {
-    for (std::size_t i = 0; i < nodes_.size(); ++i) advance_sensor(i);
+    // Serial epoch: the whole fleet is one "shard" (in batch mode that means
+    // one lane group per epoch — chunking differences never change results).
+    thread_local std::vector<std::uint32_t> all_ids;
+    if (all_ids.size() != nodes_.size()) {
+      all_ids.resize(nodes_.size());
+      for (std::size_t i = 0; i < nodes_.size(); ++i)
+        all_ids[i] = static_cast<std::uint32_t>(i);
+    }
+    advance_sensors(all_ids);
   }
 
   t_ += config_.epoch;

@@ -63,10 +63,30 @@ struct ShardingConfig {
   bool measure_costs = true;
 };
 
+/// How the epoch loop advances its sensors (DESIGN.md §13).
+enum class ChannelExecution {
+  /// Per-sensor scalar stepping — the bit-identity reference path that the
+  /// legacy fleet determinism checksum is committed against.
+  kScalar,
+  /// Cross-sensor SIMD lanes: each shard advances its frame-aligned sensors
+  /// as one simd::CtaFrameBatch group (batched thermal sweep + W-wide fused
+  /// channel chain); mid-frame sensors (e.g. freshly commissioned ones) fall
+  /// back to the scalar path without perturbing any neighbour's RNG stream.
+  /// Deterministic under its own committed checksum — invariant to lane
+  /// width, thread count and shard plan — but intentionally not bit-equal to
+  /// kScalar (different Gaussian transform; see simd/channel_batch.hpp).
+  kSimdBatch,
+};
+
 struct FleetConfig {
   /// Template for every sensor (placement and RNG stream are per-node).
   SensorNodeConfig sensor{};
   std::uint64_t root_seed = 42;
+  /// Scalar reference path by default; opt in to the SIMD lanes per fleet.
+  ChannelExecution execution = ChannelExecution::kScalar;
+  /// Lane width for kSimdBatch (0 = the width the simd objects were compiled
+  /// for; 1/2/4/8 force a width — any value reproduces the same results).
+  int batch_lane_width = 0;
   /// Network solve cadence; sensors integrate one epoch between solves.
   util::Seconds epoch{0.25};
   /// Demand multiplier vs simulation time (diurnal pattern; constant 1 by
@@ -257,10 +277,25 @@ class FleetEngine {
   /// Serially freezes this epoch's per-sensor hydraulic state into the SoA
   /// input arrays (same arithmetic, same order, as pipe_state_for).
   void snapshot_epoch_inputs();
+  /// Rehydrates sensor `i`'s frozen epoch input from the SoA arrays.
+  [[nodiscard]] PipeState snapshot_state(std::size_t i) const;
   /// Advances sensor `i` one epoch from the SoA inputs and publishes its
   /// sample fields + measured cost back into the SoA outputs. Runs on pool
   /// workers for disjoint `i` — everything it touches is per-sensor.
   void advance_sensor(std::size_t i);
+  /// Advances the sensors in `ids` one epoch as a single cross-sensor SIMD
+  /// group (SensorNode::advance_group) and publishes each one's sample. The
+  /// group wall time is split evenly across the members for the cost model.
+  void advance_sensor_group(std::span<const std::uint32_t> ids);
+  /// One epoch for the sensors in `ids` under the configured execution mode:
+  /// scalar per-sensor stepping, or one batch group per call with scalar
+  /// fallback for sensors that are not frame-aligned.
+  void advance_sensors(std::span<const std::uint32_t> ids);
+  /// Mirrors node `i`'s newest trace sample into the SoA outputs (disjoint
+  /// slot — safe from any worker).
+  void publish_sample(std::size_t i);
+  /// Folds a measured per-sensor step wall time into the EWMA cost model.
+  void record_cost(std::size_t i, double seconds);
   /// Runs one shard of the current plan (ascending sensor order).
   void process_shard(std::size_t shard);
   /// Makes sure plan_ is a partition sized for `shard_count` shards, and

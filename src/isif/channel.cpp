@@ -85,17 +85,36 @@ std::optional<ChannelSample> InputChannel::tick(Volts differential_input,
   return make_sample(*decimated);
 }
 
+InputChannel::FrameKernels InputChannel::begin_frame(Kelvin ambient) {
+  if (frame_phase_ != 0)
+    throw std::logic_error(
+        "InputChannel: process_frame needs a frame-aligned channel "
+        "(frame_phase() == 0); advance with tick() to the boundary first");
+  const Seconds dt = tick_period();
+  return FrameKernels{amp_.begin_noise_block(), adc_.begin_dither_block(),
+                      amp_.begin_block(dt, ambient), lpf_.begin_block(dt),
+                      adc_.begin_block(), cic_.begin_block()};
+}
+
+ChannelSample InputChannel::commit_frame(const FrameKernels& k,
+                                         double decimated) {
+  amp_.commit_noise_block(k.noise);
+  adc_.commit_dither_block(k.dither);
+  amp_.commit_block(k.amp);
+  lpf_.commit_block(k.rc);
+  adc_.commit_block(k.adc);
+  cic_.commit_block(k.cic);
+  overload_latch_ = overload_latch_ || k.adc.any_overload;
+  return make_sample(decimated);
+}
+
 ChannelSample InputChannel::process_frame(
     std::span<const double> differential_volts, Kelvin ambient) {
   if (differential_volts.size() !=
       static_cast<std::size_t>(config_.decimation))
     throw std::logic_error("InputChannel: frame size must equal decimation");
-  if (frame_phase_ != 0)
-    throw std::logic_error(
-        "InputChannel: process_frame needs a frame-aligned channel "
-        "(frame_phase() == 0); advance with tick() to the boundary first");
 
-  const Seconds dt = tick_period();
+  FrameKernels k = begin_frame(ambient);
   const std::size_t n = differential_volts.size();
 
   // Fully fused sample-major loop: per sample the draws and stages run in
@@ -106,29 +125,16 @@ ChannelSample InputChannel::process_frame(
   // poles, ΣΔ integrators) overlap like a systolic pipeline instead of
   // serialising stage by stage, and the noise draws hide under the recurrence
   // latency.
-  auto nk = amp_.begin_noise_block();
-  auto dk = adc_.begin_dither_block();
-  auto ak = amp_.begin_block(dt, ambient);
-  auto rk = lpf_.begin_block(dt);
-  auto sk = adc_.begin_block();
-  auto ck = cic_.begin_block();
   double decimated = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    const double white = nk.white.draw();
-    const double flicker = nk.flicker.draw();
-    const double amplified = ak.step(differential_volts[i], white, flicker);
-    const double filtered = rk.step(amplified);
-    const double bit = sk.step(filtered, dk.draw());
-    if (ck.push_bit(bit)) decimated = cic_.emit(ck);
+    const double white = k.noise.white.draw();
+    const double flicker = k.noise.flicker.draw();
+    const double amplified = k.amp.step(differential_volts[i], white, flicker);
+    const double filtered = k.rc.step(amplified);
+    const double bit = k.adc.step(filtered, k.dither.draw());
+    if (k.cic.push_bit(bit)) decimated = emit_frame_output(k.cic);
   }
-  amp_.commit_noise_block(nk);
-  adc_.commit_dither_block(dk);
-  amp_.commit_block(ak);
-  lpf_.commit_block(rk);
-  adc_.commit_block(sk);
-  cic_.commit_block(ck);
-  overload_latch_ = overload_latch_ || sk.any_overload;
-  return make_sample(decimated);
+  return commit_frame(k, decimated);
 }
 
 Hertz InputChannel::output_rate() const {

@@ -1,0 +1,57 @@
+// channel_batch.hpp — cross-sensor SIMD execution of the fused ISIF channel
+// frame (DESIGN.md §13). N channels' FrameKernels are gathered into
+// structure-of-arrays lanes — noise/dither RNG streams, amp pole, RC cascade,
+// ΣΔ integrators (1-bit quantiser as a sign-mask select), CIC integrator
+// words — and one fused loop steps W sensors per instruction through the
+// whole chain; the advanced state is scattered back through the channels'
+// commit_frame, so scalar execution can resume any channel afterwards.
+//
+// Determinism: every lane is a pure function of its own channel's state (the
+// chain stages are element-wise identical to the scalar kernels; the batch
+// Gaussian generator is per-lane pure), so results are independent of lane
+// width, group boundaries and processing order — the batch path's committed
+// checksum reproduces at W = 1/2/4/8 and any thread count. The *noise values*
+// come from the branch-free Box-Muller generator, not the scalar polar
+// transform, so batch output intentionally differs from the scalar reference
+// (which stays the bit-identity baseline, DESIGN.md §9).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "isif/channel.hpp"
+#include "util/units.hpp"
+
+namespace aqua::simd {
+
+/// One channel's share of a batch frame.
+struct ChannelFrameInput {
+  isif::InputChannel* channel = nullptr;
+  /// Per-tick differential inputs, size == the channel's decimation.
+  std::span<const double> differential_volts{};
+  util::Kelvin ambient = util::celsius(25.0);
+};
+
+class ChannelBatch {
+ public:
+  /// Advances one decimation frame for every channel in `in`, writing the
+  /// decimated samples to `out` (same order; sizes must match). Channels are
+  /// processed in lane groups of `lane_width` (0 = compiled width) with the
+  /// remainder at W = 1 — identical results at any chunking. All channels
+  /// must be frame-aligned and share the same structural configuration
+  /// (decimation, RC pole count, CIC order); throws std::logic_error /
+  /// std::invalid_argument otherwise.
+  static void process_frames(std::span<const ChannelFrameInput> in,
+                             std::span<isif::ChannelSample> out,
+                             int lane_width = 0);
+};
+
+/// Stage-isolation hooks for bench_micro_dsp: run `ticks` steps of just the
+/// ΣΔ quantiser loop / just the CIC integrator cascade across one lane group
+/// of `width` (0 = compiled width), returning a value-dependent sink so the
+/// loop cannot be optimised away. Inputs are synthetic but representative
+/// (±full-scale sinusoid-ish sweep / alternating bit pattern).
+double run_sigma_delta_lanes(int ticks, int width = 0);
+double run_cic_lanes(int ticks, int order, int decimation, int width = 0);
+
+}  // namespace aqua::simd

@@ -1,0 +1,32 @@
+// cta_batch.hpp — one decimation frame for N whole CTA loops (DESIGN.md §13).
+// Per modulator tick every loop stages its scalar physics (package, DAC,
+// bridge solves, heater powers, conductance update), then ALL dies relax
+// through one phys::ThermalNetwork::step_batch sweep over the shared CSR
+// adjacency; after the tick loop both ISIF channels of every loop run through
+// simd::ChannelBatch in cross-sensor lanes, and each loop finishes its frame
+// (firmware tick, blackbox edges). The scalar CtaAnemometer::tick_frame is
+// the W = 1 instance of exactly this flow, so the physics staging is shared
+// source — the only divergence between modes is the channel noise generator
+// (see channel_batch.hpp).
+#pragma once
+
+#include <span>
+
+#include "core/cta.hpp"
+#include "maf/environment.hpp"
+
+namespace aqua::simd {
+
+class CtaFrameBatch {
+ public:
+  /// Advances every loop by one decimation frame under its environment.
+  /// Requirements (std::logic_error / std::invalid_argument otherwise): all
+  /// loops frame-aligned (tick_phase() == 0), spans equally sized, and every
+  /// loop sharing the same tick period and decimation — which a fleet built
+  /// from one SensorNodeConfig satisfies by construction.
+  static void process_frame(std::span<cta::CtaAnemometer* const> loops,
+                            std::span<const maf::Environment> envs,
+                            int lane_width = 0);
+};
+
+}  // namespace aqua::simd

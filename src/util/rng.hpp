@@ -96,6 +96,24 @@ class Rng {
     return h;
   }
 
+  /// The generator's complete position: xoshiro state words plus the cached
+  /// Box-Muller spare. The cross-sensor SIMD layer (src/simd) gathers this
+  /// into structure-of-arrays lanes before a batch frame and scatters the
+  /// advanced position back afterwards; round-tripping through State is
+  /// exact, so scalar execution can resume a stream the batch path advanced
+  /// (and vice versa) without perturbing a single draw.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double spare = 0.0;
+    bool has_spare = false;
+  };
+  [[nodiscard]] State state() const { return State{s_, spare_, has_spare_}; }
+  void set_state(const State& state) {
+    s_ = state.s;
+    spare_ = state.spare;
+    has_spare_ = state.has_spare;
+  }
+
   /// Counter-based stream derivation: the `stream_id`-th decorrelated stream
   /// of a root seed, without constructing or advancing any intermediate
   /// generator. Same (root_seed, stream_id) ⇒ same stream, regardless of
