@@ -10,7 +10,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +30,7 @@
 #include "obs/trace.hpp"
 #include "simd/channel_batch.hpp"
 #include "simd/lanes.hpp"
+#include "state/checkpoint.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -223,6 +226,68 @@ ScalingReport run_scaling_sweep(unsigned hw) {
   return rep;
 }
 
+// --- checkpoint overhead ----------------------------------------------------
+// The crash-recovery tax (DESIGN.md §14): the same 32-sensor epoch loop run
+// twice in this process, once plain and once writing a durable checkpoint
+// (serialize + atomic temp/fsync/rename) every `interval` epochs. The
+// throughput ratio is machine-independent — both sides run seconds apart in
+// one binary — and CI floors it at 0.9: a checkpoint cadence of 100 epochs
+// may cost at most 10 % of fleet throughput.
+struct CheckpointOverhead {
+  long long epochs = 0;
+  long long interval = 100;
+  std::size_t image_bytes = 0;     // one engine checkpoint image
+  double nockpt_sps = 0.0;         // sensors × sim-s per wall-s, no checkpoints
+  double ckpt_sps = 0.0;           // same run with the checkpoint cadence
+  double ratio = 0.0;              // ckpt / nockpt — gated >= 0.9
+};
+
+CheckpointOverhead measure_checkpoint_overhead() {
+  namespace fs = std::filesystem;
+  CheckpointOverhead rep;
+  rep.epochs = 200;
+  rep.interval = 100;
+  const double epoch_s = 0.05;
+
+  const auto run = [&rep, epoch_s](bool checkpointing) {
+    District d = make_district();
+    fleet::FleetConfig cfg;
+    cfg.sensor.isif = cta::coarse_isif_config();
+    cfg.sensor.cta.output_cutoff = util::hertz(2.0);
+    cfg.root_seed = 42;
+    cfg.epoch = Seconds{epoch_s};
+    cfg.demand_factor = fleet::diurnal_demand_pattern(Seconds{8.0});
+    fleet::FleetEngine engine(d.net, d.placements, cfg);
+    engine.set_shared_fit(cta::KingFit{0.9, 1.1, 0.5});
+
+    std::optional<state::CheckpointManager> manager;
+    std::string dir;
+    if (checkpointing) {
+      dir = (fs::temp_directory_path() / "aqua_bench_ckpt").string();
+      fs::remove_all(dir);
+      manager.emplace(dir, "bench", 2);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (long long e = 1; e <= rep.epochs; ++e) {
+      engine.step_epoch();
+      if (manager && e % rep.interval == 0) {
+        const std::vector<std::uint8_t> image = engine.checkpoint();
+        rep.image_bytes = image.size();
+        manager->write(static_cast<std::uint64_t>(e), image);
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    if (checkpointing) fs::remove_all(dir);
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    return static_cast<double>(engine.size()) * epoch_s *
+           static_cast<double>(rep.epochs) / wall;
+  };
+  rep.nockpt_sps = run(false);
+  rep.ckpt_sps = run(true);
+  rep.ratio = rep.nockpt_sps > 0.0 ? rep.ckpt_sps / rep.nockpt_sps : 0.0;
+  return rep;
+}
+
 // --- per-stage micro throughput -------------------------------------------
 // Samples/s through each hot-path stage, measured standalone so the JSON
 // artifact records where the end-to-end fleet number comes from. The
@@ -398,7 +463,8 @@ RunResult run_mode(unsigned threads, double sim_seconds) {
 /// overload and PI saturation counters accumulated over every mode.
 void write_json_report(const std::vector<std::pair<std::string, RunResult>>& modes,
                        const StageRates& stages, const ScalingReport& scaling,
-                       unsigned hw, bool deterministic) {
+                       const CheckpointOverhead& ckpt, unsigned hw,
+                       bool deterministic) {
   const char* env_path = std::getenv("AQUA_BENCH_JSON");
   const std::string path = env_path != nullptr ? env_path : "BENCH_fleet.json";
 
@@ -465,7 +531,7 @@ void write_json_report(const std::vector<std::pair<std::string, RunResult>>& mod
   {
     // Per-stage micro throughput (samples/s): where the end-to-end number
     // comes from, and the input to the CI regression gate.
-    char buf[1024];
+    char buf[2048];
     std::snprintf(
         buf, sizeof buf,
         "  \"stages\": {\n"
@@ -481,6 +547,11 @@ void write_json_report(const std::vector<std::pair<std::string, RunResult>>& mod
         "    \"lane_width\": %d,\n"
         "    \"channel_batch_sps\": %.0f,\n"
         "    \"channel_batch_over_block\": %.3f,\n"
+        "    \"fleet_nockpt_sps\": %.0f,\n"
+        "    \"fleet_ckpt_sps\": %.0f,\n"
+        "    \"fleet_ckpt_over_nockpt\": %.3f,\n"
+        "    \"checkpoint_interval_epochs\": %lld,\n"
+        "    \"checkpoint_image_bytes\": %zu,\n"
         "    \"thermal_step_sps\": %.0f\n"
         "  },\n",
         stages.amp_scalar, stages.amp_block, stages.sigma_delta_block,
@@ -496,7 +567,8 @@ void write_json_report(const std::vector<std::pair<std::string, RunResult>>& mod
         stages.channel_block > 0.0
             ? stages.channel_batch / stages.channel_block
             : 0.0,
-        stages.thermal_step);
+        ckpt.nockpt_sps, ckpt.ckpt_sps, ckpt.ratio, ckpt.interval,
+        ckpt.image_bytes, stages.thermal_step);
     out += buf;
   }
   // Re-indent the snapshot under the "metrics" key (it renders from column 0).
@@ -602,7 +674,14 @@ int main() {
               simd::active_lane_width());
   std::printf("  %-22s %12.3e\n", "thermal die step", stages.thermal_step);
 
-  write_json_report(results, stages, scaling, hw, deterministic);
+  const CheckpointOverhead ckpt = measure_checkpoint_overhead();
+  std::printf("\ncheckpoint overhead: %.1f sensors*sims/s plain vs %.1f with "
+              "a durable checkpoint every %lld epochs (%.2fx, CI floor 0.90; "
+              "image %zu bytes)\n",
+              ckpt.nockpt_sps, ckpt.ckpt_sps, ckpt.interval, ckpt.ratio,
+              ckpt.image_bytes);
+
+  write_json_report(results, stages, scaling, ckpt, hw, deterministic);
   if (hw <= 1)
     std::printf("note: single hardware thread — parallel modes time-slice "
                 "one core, so no wall-clock speedup is expected here.\n");

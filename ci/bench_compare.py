@@ -30,6 +30,11 @@ come in two characters:
 * channel_batch_sps vs baseline               — absolute samples/s, 20 % slack,
   compared only when the measured lane width equals the baseline's recorded
   lane width (an SSE2-only runner against an AVX2 baseline tells us nothing).
+* fleet_ckpt_over_nockpt ratio >= 0.9         — machine-independent. The same
+  32-sensor epoch loop with a durable checkpoint (serialize + atomic
+  temp/fsync/rename) every 100 epochs, against the plain loop in the same
+  binary; losing more than 10 % of throughput means checkpointing got too
+  expensive for its production cadence.
 * scaling.fleet_scaling_efficiency >= 0.8     — machine-independent. The fleet
   sweep normalises each pool mode's speedup by min(threads, hardware threads),
   so ideal is 1.0 whether the runner has 1 core or 64; dropping below 0.8
@@ -56,6 +61,8 @@ BATCH_RATIO_KEY = "channel_batch_over_block"
 BATCH_RATIO_FLOOR = 2.0
 BATCH_SPS_KEY = "channel_batch_sps"
 LANE_WIDTH_KEY = "lane_width"
+CKPT_RATIO_KEY = "fleet_ckpt_over_nockpt"
+CKPT_RATIO_FLOOR = 0.90
 WARN_KEYS = [
     "amp_scalar_sps",
     "amp_block_sps",
@@ -94,6 +101,20 @@ def load_stages(path, role):
               "bench_fleet did not write its per-stage section")
         return None
     return stages
+
+
+def gated_ratio(measured, path, key):
+    """A gated ratio metric, or None with a ::error that NAMES the missing
+    key. Folding "missing" into 0.0 would fail the gate with a message
+    blaming a perf regression that never happened — a missing key means the
+    bench didn't write it (stale binary, renamed metric), which is its own
+    failure and needs its own message."""
+    value = measured.get(key)
+    if value is None:
+        print(f"::error::{path} has no stages.{key} — bench_fleet did not "
+              "write this gated metric (stale bench binary or renamed key?)")
+        return None
+    return value
 
 
 def check_scaling(path):
@@ -160,22 +181,44 @@ def main(argv):
                   f"{argv[2]} only with an explanation")
             failed = True
 
-    ratio = measured.get(RATIO_KEY, 0.0)
-    print(f"{RATIO_KEY}: {ratio:.2f} (must stay >= 1.0)")
-    if ratio < 1.0:
-        print("::error::the fused block path is slower than the scalar "
-              "reference path in the same binary — structural regression")
+    ratio = gated_ratio(measured, argv[1], RATIO_KEY)
+    if ratio is None:
         failed = True
+    else:
+        print(f"{RATIO_KEY}: {ratio:.2f} (must stay >= 1.0)")
+        if ratio < 1.0:
+            print("::error::the fused block path is slower than the scalar "
+                  "reference path in the same binary — structural regression")
+            failed = True
 
-    tracing_ratio = measured.get(TRACING_RATIO_KEY, 0.0)
-    print(f"{TRACING_RATIO_KEY}: {tracing_ratio:.2f} "
-          f"(must stay >= {TRACING_RATIO_FLOOR:.1f})")
-    if tracing_ratio < TRACING_RATIO_FLOOR:
-        print("::error::disabled tracing costs more than "
-              f"{100 * (1 - TRACING_RATIO_FLOOR):.0f} % of channel block "
-              "throughput — the dormant AQUA_TRACE_* branches leaked into "
-              "the hot path")
+    tracing_ratio = gated_ratio(measured, argv[1], TRACING_RATIO_KEY)
+    if tracing_ratio is None:
         failed = True
+    else:
+        print(f"{TRACING_RATIO_KEY}: {tracing_ratio:.2f} "
+              f"(must stay >= {TRACING_RATIO_FLOOR:.1f})")
+        if tracing_ratio < TRACING_RATIO_FLOOR:
+            print("::error::disabled tracing costs more than "
+                  f"{100 * (1 - TRACING_RATIO_FLOOR):.0f} % of channel block "
+                  "throughput — the dormant AQUA_TRACE_* branches leaked into "
+                  "the hot path")
+            failed = True
+
+    ckpt_ratio = gated_ratio(measured, argv[1], CKPT_RATIO_KEY)
+    if ckpt_ratio is None:
+        failed = True
+    else:
+        interval = measured.get("checkpoint_interval_epochs", 0)
+        print(f"{CKPT_RATIO_KEY}: {ckpt_ratio:.2f} at a {interval}-epoch "
+              f"cadence (must stay >= {CKPT_RATIO_FLOOR:.1f})")
+        if ckpt_ratio < CKPT_RATIO_FLOOR:
+            print("::error::durable checkpointing every "
+                  f"{interval} epochs costs more than "
+                  f"{100 * (1 - CKPT_RATIO_FLOOR):.0f} % of fleet throughput "
+                  "— both sides run in the same binary, so this is the "
+                  "serialize/fsync path getting expensive, not runner "
+                  "variance")
+            failed = True
 
     # The cross-sensor SIMD lane gates. Ratio first: machine-independent, but
     # only meaningful when the binary actually compiled vector lanes.

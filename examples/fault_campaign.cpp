@@ -15,11 +15,24 @@
 // Exit status is nonzero on any violation. The serial summary is written as
 // JSON to argv[1] (or $AQUA_CAMPAIGN_JSON, default
 // fault_campaign_summary.json) for the CI artifact upload.
+//
+// Crash-recovery mode (DESIGN.md §14): with any of the flags below the binary
+// runs the campaign through a CampaignRunner with durable checkpoints instead
+// of the full gate battery, so CI can kill it mid-campaign and prove the
+// resumed summary is byte-identical to an uninterrupted run's:
+//   --checkpoint-dir DIR    where checkpoints go (required for the others)
+//   --checkpoint-every N    write a checkpoint every N epochs
+//   --kill-at-epoch K       exit(0) after epoch K — a simulated crash; only
+//                           checkpoints the cadence already wrote survive
+//   --resume DIR            restore the newest valid checkpoint from DIR
+//                           (corrupt files are skipped) and run to completion
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +41,7 @@
 #include "fault/campaign.hpp"
 #include "fleet/fleet.hpp"
 #include "fleet/supervisor.hpp"
+#include "state/checkpoint.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -204,13 +218,120 @@ bool summaries_identical(const fault::CampaignSummary& a,
   return true;
 }
 
+struct Options {
+  std::string json_path = "fault_campaign_summary.json";
+  std::string checkpoint_dir;  // where new checkpoints are written
+  std::string resume_dir;      // where to look for one to restore
+  long long checkpoint_every = 0;
+  long long kill_at_epoch = -1;
+  [[nodiscard]] bool runner_mode() const {
+    return !checkpoint_dir.empty() || !resume_dir.empty() ||
+           checkpoint_every > 0 || kill_at_epoch >= 0;
+  }
+};
+
+/// The crash-recovery path: campaign only (no drain / leak gates), stepped
+/// one epoch at a time through a CampaignRunner so there is a checkpoint
+/// boundary to die at and to come back from.
+int run_checkpoint_mode(const Options& opt) {
+  std::optional<state::CheckpointManager> manager;
+  if (!opt.checkpoint_dir.empty())
+    manager.emplace(opt.checkpoint_dir, "campaign", 3);
+
+  District d = make_district();
+  fleet::FleetEngine engine(d.net, d.placements, make_config());
+  engine.set_shared_fit(cta::KingFit{0.9, 1.1, 0.5});
+
+  long long epoch = 0;
+  bool resumed = false;
+  if (!opt.resume_dir.empty()) {
+    state::CheckpointManager source{opt.resume_dir, "campaign", 3};
+    const auto loaded = source.load_newest_valid();
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "no valid checkpoint under %s\n",
+                   opt.resume_dir.c_str());
+      return 1;
+    }
+    // The restore target is a freshly constructed trio — no commissioning;
+    // the image carries the fully-commissioned state.
+    fleet::FleetSupervisor supervisor(engine, make_supervisor_config());
+    fault::CampaignRunner runner{engine, supervisor,
+                                 make_campaign(engine.size()),
+                                 kCampaignLength};
+    runner.restore(loaded->image);
+    epoch = static_cast<long long>(loaded->epoch);
+    resumed = true;
+    std::printf("resumed from %s at epoch %lld\n", loaded->path.c_str(),
+                epoch);
+    while (!runner.done()) {
+      runner.step();
+      ++epoch;
+      if (manager && opt.checkpoint_every > 0 &&
+          epoch % opt.checkpoint_every == 0)
+        manager->write(static_cast<std::uint64_t>(epoch), runner.checkpoint());
+    }
+    const fault::CampaignSummary s = runner.finish();
+    std::ofstream out(opt.json_path);
+    out << s.to_json();
+    std::printf("campaign complete (resumed): checksum %016llx, wrote %s\n",
+                static_cast<unsigned long long>(s.trace_checksum),
+                opt.json_path.c_str());
+    return 0;
+  }
+
+  engine.commission(Seconds{0.3});
+  fleet::FleetSupervisor supervisor(engine, make_supervisor_config());
+  fault::CampaignRunner runner{engine, supervisor, make_campaign(engine.size()),
+                               kCampaignLength};
+  while (!runner.done()) {
+    runner.step();
+    ++epoch;
+    if (manager && opt.checkpoint_every > 0 &&
+        epoch % opt.checkpoint_every == 0)
+      manager->write(static_cast<std::uint64_t>(epoch), runner.checkpoint());
+    if (opt.kill_at_epoch >= 0 && epoch >= opt.kill_at_epoch) {
+      std::printf("simulated crash at epoch %lld — exiting without summary\n",
+                  epoch);
+      return 0;
+    }
+  }
+  const fault::CampaignSummary s = runner.finish();
+  std::ofstream out(opt.json_path);
+  out << s.to_json();
+  std::printf("campaign complete%s: checksum %016llx, wrote %s\n",
+              resumed ? " (resumed)" : "",
+              static_cast<unsigned long long>(s.trace_checksum),
+              opt.json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* env_path = std::getenv("AQUA_CAMPAIGN_JSON");
-  const std::string json_path = argc > 1          ? argv[1]
-                                : env_path != nullptr ? env_path
-                                                      : "fault_campaign_summary.json";
+  Options opt;
+  if (const char* env_path = std::getenv("AQUA_CAMPAIGN_JSON"))
+    opt.json_path = env_path;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--checkpoint-dir") == 0)
+      opt.checkpoint_dir = value();
+    else if (std::strcmp(argv[i], "--checkpoint-every") == 0)
+      opt.checkpoint_every = std::atoll(value());
+    else if (std::strcmp(argv[i], "--kill-at-epoch") == 0)
+      opt.kill_at_epoch = std::atoll(value());
+    else if (std::strcmp(argv[i], "--resume") == 0)
+      opt.resume_dir = value();
+    else
+      opt.json_path = argv[i];  // positional: summary JSON path, as before
+  }
+  if (opt.runner_mode()) return run_checkpoint_mode(opt);
+  const std::string& json_path = opt.json_path;
 
   std::printf("fault campaign: seed %llu, %.0f s, epoch %.2f s\n",
               static_cast<unsigned long long>(kSeed), kCampaignLength.value(),

@@ -107,6 +107,21 @@ class InstrumentAmp {
   [[nodiscard]] util::Volts offset() const { return offset_; }
   [[nodiscard]] bool saturated() const { return saturated_; }
 
+  /// Checkpoint support: noise streams, pole value and saturation flag. The
+  /// offset is a part draw, reproduced by reconstruction — never serialised.
+  void save_state(state::Writer& w) const {
+    white_.save_state(w);
+    flicker_.save_state(w);
+    w.f64(pole_.value());
+    w.boolean(saturated_);
+  }
+  void load_state(state::Reader& r) {
+    white_.load_state(r);
+    flicker_.load_state(r);
+    pole_.reset(r.f64());
+    saturated_ = r.boolean();
+  }
+
  private:
   InstrumentAmpSpec spec_;
   util::Volts offset_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/integrator.hpp"
+#include "state/serial.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -45,6 +46,17 @@ class ThermometerDac {
   [[nodiscard]] util::Volts static_output() const;
   /// Integral nonlinearity at a code, in LSB.
   [[nodiscard]] double inl_lsb(int code) const;
+
+  /// Checkpoint support: latched code and buffer voltage. The element
+  /// mismatch is a part draw, reproduced by reconstruction.
+  void save_state(state::Writer& w) const {
+    w.i32(code_);
+    w.f64(buffer_.value());
+  }
+  void load_state(state::Reader& r) {
+    code_ = r.i32();
+    buffer_.reset(r.f64());
+  }
 
  private:
   ThermometerDacSpec spec_;

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <span>
 
+#include "state/rng_io.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -41,6 +42,11 @@ class WhiteNoise {
   };
   [[nodiscard]] BlockKernel begin_block() const { return {rng_, sigma_}; }
   void commit_block(const BlockKernel& k) { rng_ = k.rng; }
+
+  /// Checkpoint support (DESIGN.md §14): the stream position is the only
+  /// evolving state; sigma and the rewind anchor are construction-time.
+  void save_state(state::Writer& w) const { state::save_rng(w, rng_); }
+  void load_state(state::Reader& r) { state::load_rng(r, rng_); }
 
  private:
   double sigma_;
@@ -116,6 +122,19 @@ class FlickerNoise {
     rng_ = k.rng;
     rows_ = k.rows;
     counter_ = k.counter;
+  }
+
+  /// Checkpoint support: rows, row counter and stream position evolve; the
+  /// rewind anchors are construction-time.
+  void save_state(state::Writer& w) const {
+    for (const double row : rows_) w.f64(row);
+    w.u32(counter_);
+    state::save_rng(w, rng_);
+  }
+  void load_state(state::Reader& r) {
+    for (double& row : rows_) row = r.f64();
+    counter_ = r.u32();
+    state::load_rng(r, rng_);
   }
 
  private:

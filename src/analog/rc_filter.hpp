@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/integrator.hpp"
+#include "state/serial.hpp"
 #include "util/units.hpp"
 
 namespace aqua::analog {
@@ -47,6 +48,17 @@ class RcLowpass {
   void reset(double value = 0.0);
   [[nodiscard]] double value() const;
   [[nodiscard]] util::Hertz cutoff() const { return fc_; }
+
+  /// Checkpoint support: one pole value per stage (stage count is config).
+  void save_state(state::Writer& w) const {
+    w.size(stages_.size());
+    for (const sim::FirstOrderLag& stage : stages_) w.f64(stage.value());
+  }
+  void load_state(state::Reader& r) {
+    if (r.size(8) != stages_.size())
+      throw state::Error("RcLowpass: stage count mismatch");
+    for (sim::FirstOrderLag& stage : stages_) stage.reset(r.f64());
+  }
 
  private:
   util::Hertz fc_;

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <span>
 
+#include "state/rng_io.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -77,6 +78,24 @@ class SigmaDeltaModulator {
   void commit_dither_block(const DitherKernel& k) { rng_ = k.rng; }
 
   void reset();
+
+  /// Checkpoint support: integrators, feedback bit, overload flag and the
+  /// dither stream position.
+  void save_state(state::Writer& w) const {
+    state::save_rng(w, rng_);
+    w.f64(s1_);
+    w.f64(s2_);
+    w.i32(prev_bit_);
+    w.boolean(overloaded_);
+  }
+  void load_state(state::Reader& r) {
+    state::load_rng(r, rng_);
+    s1_ = r.f64();
+    s2_ = r.f64();
+    prev_bit_ = r.i32();
+    overloaded_ = r.boolean();
+  }
+
   [[nodiscard]] const SigmaDeltaSpec& spec() const { return spec_; }
   /// True if the most recent input exceeded the stable input range (~±0.9 FS
   /// for a 2nd-order loop); the channel flags this as overload.

@@ -382,6 +382,58 @@ void CtaAnemometer::reboot() {
       std::lround(u_ * isif_.dac(0).dac().max_code())));
 }
 
+void CtaAnemometer::save_state(state::Writer& w) const {
+  die_.save_state(w);
+  package_.save_state(w);
+  isif_.save_state(w);
+  pi_.save_state(w);
+  output_iir_.save_state(w);
+  w.f64(direction_lp_.value());
+  w.f64(t_.value());
+  w.i64(control_ticks_);
+  w.i32(tick_phase_);
+  w.f64(pending_error_code_);
+  w.f64(pending_dir_code_);
+  w.boolean(adc_overload_);
+  w.f64(u_);
+  w.f64(u_held_);
+  w.f64(filtered_u_);
+  w.f64(direction_offset_);
+  w.f64(dir_filtered_);
+  w.boolean(phase_on_);
+  w.boolean(was_on_);
+  w.boolean(output_primed_);
+  flight_.save_state(w);
+  w.boolean(pi_saturated_);
+  w.boolean(adc_overload_prev_);
+}
+
+void CtaAnemometer::load_state(state::Reader& r) {
+  die_.load_state(r);
+  package_.load_state(r);
+  isif_.load_state(r);
+  pi_.load_state(r);
+  output_iir_.load_state(r);
+  direction_lp_.reset(r.f64());
+  t_ = Seconds{r.f64()};
+  control_ticks_ = r.i64();
+  tick_phase_ = r.i32();
+  pending_error_code_ = r.f64();
+  pending_dir_code_ = r.f64();
+  adc_overload_ = r.boolean();
+  u_ = r.f64();
+  u_held_ = r.f64();
+  filtered_u_ = r.f64();
+  direction_offset_ = r.f64();
+  dir_filtered_ = r.f64();
+  phase_on_ = r.boolean();
+  was_on_ = r.boolean();
+  output_primed_ = r.boolean();
+  flight_.load_state(r);
+  pi_saturated_ = r.boolean();
+  adc_overload_prev_ = r.boolean();
+}
+
 double CtaAnemometer::bridge_voltage() const {
   return u_ * config_.dac_full_scale.value();
 }

@@ -23,6 +23,7 @@
 #include "maf/die.hpp"
 #include "maf/package.hpp"
 #include "obs/flight.hpp"
+#include "state/serial.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -200,6 +201,15 @@ class CtaAnemometer {
   [[nodiscard]] const CtaConfig& config() const { return config_; }
   /// The balancing top resistor picked at construction (arm A).
   [[nodiscard]] util::Ohms top_resistor_a() const { return top_a_; }
+
+  /// Checkpoint support: the whole loop's evolving state — plant (die,
+  /// package), platform, controller, filters, timers, commissioning null,
+  /// pulse bookkeeping and the blackbox. Restore targets a freshly
+  /// constructed loop with the identical config + rng (the part draws come
+  /// from reconstruction). The frame scratch buffers are not state: every
+  /// tick_frame() call overwrites them before use.
+  void save_state(state::Writer& w) const;
+  void load_state(state::Reader& r);
 
  private:
   void control_update();

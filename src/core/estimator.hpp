@@ -7,6 +7,7 @@
 
 #include "core/calibration.hpp"
 #include "core/cta.hpp"
+#include "state/serial.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -62,6 +63,37 @@ class FlowEstimator {
 
   /// Expresses a speed as ±% of full scale (the paper's reporting unit).
   [[nodiscard]] double percent_of_full_scale(util::MetresPerSecond v) const;
+
+  /// Checkpoint support. The estimator is produced by calibration (or a
+  /// shared fit), so unlike the streaming stages it is reconstructed whole:
+  /// load_state is a named constructor.
+  void save_state(state::Writer& w) const {
+    for (const KingFit* f : {&fit_, &reverse_fit_}) {
+      w.f64(f->a);
+      w.f64(f->b);
+      w.f64(f->n);
+      w.f64(f->rms_residual);
+    }
+    w.boolean(has_reverse_);
+    w.f64(full_scale_.value());
+    w.f64(calibration_temperature_.value());
+  }
+  [[nodiscard]] static FlowEstimator load_state(state::Reader& r) {
+    KingFit fit, reverse;
+    for (KingFit* f : {&fit, &reverse}) {
+      f->a = r.f64();
+      f->b = r.f64();
+      f->n = r.f64();
+      f->rms_residual = r.f64();
+    }
+    const bool has_reverse = r.boolean();
+    const double full_scale = r.f64();
+    const double calibration_t = r.f64();
+    FlowEstimator est(fit, util::MetresPerSecond{full_scale},
+                      util::Kelvin{calibration_t});
+    if (has_reverse) est.set_reverse_fit(reverse);
+    return est;
+  }
 
  private:
   KingFit fit_;

@@ -10,6 +10,7 @@
 
 #include "core/cta.hpp"
 #include "core/estimator.hpp"
+#include "state/serial.hpp"
 #include "util/units.hpp"
 
 namespace aqua::cta {
@@ -68,6 +69,22 @@ class HealthMonitor {
   [[nodiscard]] bool healthy() const { return healthy_; }
 
   void reset();
+
+  /// Checkpoint support: the rate/stuck detector memory.
+  void save_state(state::Writer& w) const {
+    w.boolean(healthy_);
+    w.boolean(have_prev_);
+    w.f64(prev_speed_);
+    w.f64(prev_voltage_);
+    w.i32(identical_count_);
+  }
+  void load_state(state::Reader& r) {
+    healthy_ = r.boolean();
+    have_prev_ = r.boolean();
+    prev_speed_ = r.f64();
+    prev_voltage_ = r.f64();
+    identical_count_ = r.i32();
+  }
 
  private:
   HealthConfig config_;

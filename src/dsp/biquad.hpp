@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "state/serial.hpp"
 #include "util/units.hpp"
 
 namespace aqua::dsp {
@@ -32,6 +33,16 @@ class Biquad {
 
   [[nodiscard]] const BiquadCoefficients& coefficients() const { return c_; }
 
+  /// Checkpoint support: the two DF-II delay states (coefficients are config).
+  void save_state(state::Writer& w) const {
+    w.f64(s1_);
+    w.f64(s2_);
+  }
+  void load_state(state::Reader& r) {
+    s1_ = r.f64();
+    s2_ = r.f64();
+  }
+
  private:
   BiquadCoefficients c_;
   double s1_ = 0.0, s2_ = 0.0;  // transposed DF-II state
@@ -50,6 +61,17 @@ class BiquadCascade {
 
   /// Magnitude response at frequency f for sample rate fs.
   [[nodiscard]] double magnitude(util::Hertz f, util::Hertz fs) const;
+
+  /// Checkpoint support: per-section delay states (section count is config).
+  void save_state(state::Writer& w) const {
+    w.size(sections_.size());
+    for (const Biquad& s : sections_) s.save_state(w);
+  }
+  void load_state(state::Reader& r) {
+    if (r.size(16) != sections_.size())
+      throw state::Error("BiquadCascade: section count mismatch");
+    for (Biquad& s : sections_) s.load_state(r);
+  }
 
  private:
   std::vector<Biquad> sections_;

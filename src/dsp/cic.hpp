@@ -19,6 +19,8 @@
 #include <span>
 #include <vector>
 
+#include "state/serial.hpp"
+
 namespace aqua::dsp {
 
 class CicDecimator {
@@ -91,6 +93,32 @@ class CicDecimator {
   /// Output sample rate for a given input rate.
   [[nodiscard]] double output_rate(double input_rate) const {
     return input_rate / decimation_;
+  }
+
+  /// Checkpoint support: decimation phase, integrator words and comb delay
+  /// lines (their shapes are fixed by the construction-time config).
+  void save_state(state::Writer& w) const {
+    w.i32(phase_);
+    w.size(integrators_.size());
+    for (const std::uint64_t acc : integrators_) w.u64(acc);
+    w.size(comb_delays_.size());
+    for (const auto& comb : comb_delays_) {
+      w.size(comb.size());
+      for (const std::uint64_t d : comb) w.u64(d);
+    }
+  }
+  void load_state(state::Reader& r) {
+    phase_ = r.i32();
+    if (r.size(8) != integrators_.size())
+      throw state::Error("CicDecimator: integrator count mismatch");
+    for (std::uint64_t& acc : integrators_) acc = r.u64();
+    if (r.size(8) != comb_delays_.size())
+      throw state::Error("CicDecimator: comb count mismatch");
+    for (auto& comb : comb_delays_) {
+      if (r.size(8) != comb.size())
+        throw state::Error("CicDecimator: comb delay depth mismatch");
+      for (std::uint64_t& d : comb) d = r.u64();
+    }
   }
 
  private:

@@ -4,6 +4,7 @@
 // software IP; the same class also backs the valve controller on the test rig.
 #pragma once
 
+#include "state/serial.hpp"
 #include "util/units.hpp"
 
 namespace aqua::dsp {
@@ -36,6 +37,20 @@ class PidController {
   [[nodiscard]] double integrator() const { return integral_; }
   [[nodiscard]] const PidGains& gains() const { return gains_; }
   void set_gains(const PidGains& gains) { gains_ = gains; }
+
+  /// Checkpoint support: integrator, derivative memory and last output.
+  void save_state(state::Writer& w) const {
+    w.f64(integral_);
+    w.f64(prev_error_);
+    w.boolean(have_prev_);
+    w.f64(last_output_);
+  }
+  void load_state(state::Reader& r) {
+    integral_ = r.f64();
+    prev_error_ = r.f64();
+    have_prev_ = r.boolean();
+    last_output_ = r.f64();
+  }
 
  private:
   PidGains gains_;

@@ -222,86 +222,115 @@ std::uint64_t fleet_trace_checksum(const fleet::FleetEngine& engine) {
   return checksum;
 }
 
-CampaignSummary run_campaign(fleet::FleetEngine& engine,
-                             fleet::FleetSupervisor& supervisor,
-                             const FaultCampaign& campaign, Seconds duration,
-                             util::ThreadPool* pool) {
-  FaultInjector injector(engine, campaign);
-  const std::vector<FaultEvent>& events = campaign.events();
+void FaultInjector::save_state(state::Writer& w) const {
+  w.size(events_.size());
+  for (const std::uint8_t s : started_) w.u8(s);
+  for (const std::uint8_t e : expired_) w.u8(e);
+  for (const double t : injection_t_s_) w.f64(t);
+  w.i64(injections_);
+}
 
-  CampaignSummary summary;
-  summary.sensors = engine.size();
-  summary.outcomes.reserve(events.size());
+void FaultInjector::load_state(state::Reader& r) {
+  if (r.size(10) != events_.size())
+    throw state::Error("FaultInjector: event count mismatch");
+  for (std::uint8_t& s : started_) s = r.u8();
+  for (std::uint8_t& e : expired_) e = r.u8();
+  for (double& t : injection_t_s_) t = r.f64();
+  injections_ = r.i64();
+}
+
+namespace {
+// Campaign-level checkpoint sections, appended after the engine's.
+constexpr std::uint32_t kSectionSupervisor =
+    state::section_id('S', 'U', 'P', 'V');
+constexpr std::uint32_t kSectionInjector =
+    state::section_id('I', 'N', 'J', 'C');
+constexpr std::uint32_t kSectionCampaign =
+    state::section_id('C', 'A', 'M', 'P');
+}  // namespace
+
+CampaignRunner::CampaignRunner(fleet::FleetEngine& engine,
+                               fleet::FleetSupervisor& supervisor,
+                               const FaultCampaign& campaign,
+                               Seconds duration)
+    : engine_(engine), supervisor_(supervisor), injector_(engine, campaign) {
+  const std::vector<FaultEvent>& events = campaign.events();
+  summary_.sensors = engine.size();
+  summary_.outcomes.reserve(events.size());
   for (const FaultEvent& ev : events) {
     FaultOutcome outcome;
     outcome.event = ev;
     outcome.hard = fault_kind_is_hard(ev.kind);
-    summary.outcomes.push_back(outcome);
+    summary_.outcomes.push_back(outcome);
   }
 
-  std::vector<long long> injection_epoch(events.size(), -1);
-  std::vector<int> prev_quarantines(engine.size(), 0);
-  std::vector<int> prev_recoveries(engine.size(), 0);
+  injection_epoch_.assign(events.size(), -1);
+  prev_quarantines_.assign(engine.size(), 0);
+  prev_recoveries_.assign(engine.size(), 0);
   for (std::size_t i = 0; i < engine.size(); ++i) {
-    prev_quarantines[i] = supervisor.supervision(i).quarantine_entries;
-    prev_recoveries[i] = supervisor.supervision(i).recoveries;
+    prev_quarantines_[i] = supervisor.supervision(i).quarantine_entries;
+    prev_recoveries_[i] = supervisor.supervision(i).recoveries;
   }
 
-  const long long epochs = static_cast<long long>(
+  total_epochs_ = static_cast<long long>(
       std::ceil(duration.value() / engine.config().epoch.value()));
-  // Injection, supervision and outcome scans all run serially between epochs
-  // (the determinism contract), so the whole loop can ride one persistent
-  // worker team instead of re-enqueueing shard tasks every epoch.
-  const fleet::FleetEngine::TeamSession team{engine, pool};
-  for (long long e = 0; e < epochs; ++e) {
-    injector.update(engine.now());
-    for (std::size_t k = 0; k < events.size(); ++k) {
-      if (injection_epoch[k] < 0 && injector.started(k)) {
-        injection_epoch[k] = e;
-        summary.outcomes[k].injected = true;
-        summary.outcomes[k].injected_t_s = injector.injection_time_s(k);
-        const fleet::NodeHealthState st = supervisor.state(events[k].sensor);
-        if (st == fleet::NodeHealthState::kQuarantined ||
-            st == fleet::NodeHealthState::kFailed) {
-          // Injected into a sensor already out of service: supervision has
-          // already acted and the fault cannot reach the localizer, so the
-          // event counts as contained at injection time.
-          summary.outcomes[k].quarantined_t_s = injector.injection_time_s(k);
-          summary.outcomes[k].detection_epochs = 0;
-        }
-      }
-    }
-    engine.step_epoch(pool);
-    supervisor.poll();
-    for (std::size_t i = 0; i < engine.size(); ++i) {
-      const fleet::NodeSupervision& sup = supervisor.supervision(i);
-      if (sup.quarantine_entries > prev_quarantines[i]) {
-        prev_quarantines[i] = sup.quarantine_entries;
-        for (std::size_t k = 0; k < events.size(); ++k) {
-          FaultOutcome& outcome = summary.outcomes[k];
-          if (outcome.event.sensor != i || !outcome.injected) continue;
-          if (outcome.quarantined_t_s >= 0.0) continue;
-          outcome.quarantined_t_s = sup.quarantined_t_s;
-          outcome.detection_epochs = e - injection_epoch[k] + 1;
-        }
-      }
-      if (sup.recoveries > prev_recoveries[i]) {
-        prev_recoveries[i] = sup.recoveries;
-        for (std::size_t k = 0; k < events.size(); ++k) {
-          FaultOutcome& outcome = summary.outcomes[k];
-          if (outcome.event.sensor != i) continue;
-          if (outcome.quarantined_t_s < 0.0 || outcome.recovered_t_s >= 0.0)
-            continue;
-          outcome.recovered_t_s = sup.recovered_t_s;
-        }
+}
+
+void CampaignRunner::step(util::ThreadPool* pool) {
+  if (done())
+    throw std::logic_error("CampaignRunner::step: campaign already complete");
+  const long long e = epoch_;
+  injector_.update(engine_.now());
+  for (std::size_t k = 0; k < summary_.outcomes.size(); ++k) {
+    if (injection_epoch_[k] < 0 && injector_.started(k)) {
+      injection_epoch_[k] = e;
+      summary_.outcomes[k].injected = true;
+      summary_.outcomes[k].injected_t_s = injector_.injection_time_s(k);
+      const fleet::NodeHealthState st =
+          supervisor_.state(summary_.outcomes[k].event.sensor);
+      if (st == fleet::NodeHealthState::kQuarantined ||
+          st == fleet::NodeHealthState::kFailed) {
+        // Injected into a sensor already out of service: supervision has
+        // already acted and the fault cannot reach the localizer, so the
+        // event counts as contained at injection time.
+        summary_.outcomes[k].quarantined_t_s = injector_.injection_time_s(k);
+        summary_.outcomes[k].detection_epochs = 0;
       }
     }
   }
+  engine_.step_epoch(pool);
+  supervisor_.poll();
+  for (std::size_t i = 0; i < engine_.size(); ++i) {
+    const fleet::NodeSupervision& sup = supervisor_.supervision(i);
+    if (sup.quarantine_entries > prev_quarantines_[i]) {
+      prev_quarantines_[i] = sup.quarantine_entries;
+      for (std::size_t k = 0; k < summary_.outcomes.size(); ++k) {
+        FaultOutcome& outcome = summary_.outcomes[k];
+        if (outcome.event.sensor != i || !outcome.injected) continue;
+        if (outcome.quarantined_t_s >= 0.0) continue;
+        outcome.quarantined_t_s = sup.quarantined_t_s;
+        outcome.detection_epochs = e - injection_epoch_[k] + 1;
+      }
+    }
+    if (sup.recoveries > prev_recoveries_[i]) {
+      prev_recoveries_[i] = sup.recoveries;
+      for (FaultOutcome& outcome : summary_.outcomes) {
+        if (outcome.event.sensor != i) continue;
+        if (outcome.quarantined_t_s < 0.0 || outcome.recovered_t_s >= 0.0)
+          continue;
+        outcome.recovered_t_s = sup.recovered_t_s;
+      }
+    }
+  }
+  ++epoch_;
+}
 
-  summary.epochs = epochs;
-  summary.sim_time_s = engine.now().value();
-  summary.injected = injector.injections();
-  std::vector<int> events_on_sensor(engine.size(), 0);
+CampaignSummary CampaignRunner::finish() const {
+  CampaignSummary summary = summary_;
+  summary.epochs = total_epochs_;
+  summary.sim_time_s = engine_.now().value();
+  summary.injected = injector_.injections();
+  std::vector<int> events_on_sensor(engine_.size(), 0);
   for (const FaultOutcome& outcome : summary.outcomes) {
     if (!outcome.injected) continue;
     ++events_on_sensor[outcome.event.sensor];
@@ -318,15 +347,103 @@ CampaignSummary run_campaign(fleet::FleetEngine& engine,
   }
   // Flaps: quarantine activity on sensors that had no fault injected at all —
   // pure supervisor false positives. The CI gate requires zero.
-  for (std::size_t i = 0; i < engine.size(); ++i)
+  for (std::size_t i = 0; i < engine_.size(); ++i)
     if (events_on_sensor[i] == 0)
       summary.quarantine_flaps +=
-          supervisor.supervision(i).quarantine_entries;
-  for (std::size_t i = 0; i < engine.size(); ++i)
-    if (supervisor.state(i) == fleet::NodeHealthState::kFailed)
+          supervisor_.supervision(i).quarantine_entries;
+  for (std::size_t i = 0; i < engine_.size(); ++i)
+    if (supervisor_.state(i) == fleet::NodeHealthState::kFailed)
       ++summary.failed_permanently;
-  summary.trace_checksum = fleet_trace_checksum(engine);
+  summary.trace_checksum = fleet_trace_checksum(engine_);
   return summary;
+}
+
+std::vector<std::uint8_t> CampaignRunner::checkpoint() const {
+  state::CheckpointWriter ck;
+  engine_.write_checkpoint(ck);
+  {
+    state::Writer& w = ck.begin_section(kSectionSupervisor);
+    supervisor_.save_state(w);
+    ck.end_section();
+  }
+  {
+    state::Writer& w = ck.begin_section(kSectionInjector);
+    injector_.save_state(w);
+    ck.end_section();
+  }
+  {
+    state::Writer& w = ck.begin_section(kSectionCampaign);
+    w.i64(epoch_);
+    w.i64(total_epochs_);
+    w.size(injection_epoch_.size());
+    for (const long long e : injection_epoch_) w.i64(e);
+    w.size(prev_quarantines_.size());
+    for (const int q : prev_quarantines_) w.i32(q);
+    for (const int v : prev_recoveries_) w.i32(v);
+    // Only the mutable outcome fields; event/hard are rebuilt from the
+    // (identical) campaign at construction.
+    for (const FaultOutcome& o : summary_.outcomes) {
+      w.boolean(o.injected);
+      w.f64(o.injected_t_s);
+      w.f64(o.quarantined_t_s);
+      w.i64(o.detection_epochs);
+      w.f64(o.recovered_t_s);
+    }
+    ck.end_section();
+  }
+  return ck.finish();
+}
+
+void CampaignRunner::restore(std::span<const std::uint8_t> image) {
+  const state::CheckpointReader ck{image};
+  engine_.read_checkpoint(ck);
+  {
+    state::Reader r = ck.section(kSectionSupervisor);
+    supervisor_.load_state(r);
+    r.expect_end();
+  }
+  {
+    state::Reader r = ck.section(kSectionInjector);
+    injector_.load_state(r);
+    r.expect_end();
+  }
+  {
+    state::Reader r = ck.section(kSectionCampaign);
+    epoch_ = r.i64();
+    const long long total = r.i64();
+    if (total != total_epochs_)
+      throw state::Error("CampaignRunner: campaign length mismatch");
+    if (epoch_ < 0 || epoch_ > total_epochs_)
+      throw state::Error("CampaignRunner: epoch cursor out of range");
+    if (r.size(8) != injection_epoch_.size())
+      throw state::Error("CampaignRunner: event count mismatch");
+    for (long long& e : injection_epoch_) e = r.i64();
+    if (r.size(4) != prev_quarantines_.size())
+      throw state::Error("CampaignRunner: sensor count mismatch");
+    for (int& q : prev_quarantines_) q = r.i32();
+    for (int& v : prev_recoveries_) v = r.i32();
+    for (FaultOutcome& o : summary_.outcomes) {
+      o.injected = r.boolean();
+      o.injected_t_s = r.f64();
+      o.quarantined_t_s = r.f64();
+      o.detection_epochs = r.i64();
+      o.recovered_t_s = r.f64();
+    }
+    r.expect_end();
+  }
+}
+
+CampaignSummary run_campaign(fleet::FleetEngine& engine,
+                             fleet::FleetSupervisor& supervisor,
+                             const FaultCampaign& campaign, Seconds duration,
+                             util::ThreadPool* pool) {
+  CampaignRunner runner{engine, supervisor, campaign, duration};
+  // Injection, supervision and outcome scans all run serially between epochs
+  // (the determinism contract), so the whole loop can ride one persistent
+  // worker team instead of re-enqueueing shard tasks every epoch.
+  const fleet::FleetEngine::TeamSession team{engine, pool};
+  while (!runner.done()) runner.step(pool);
+  return runner.finish();
 }
 
 std::string CampaignSummary::to_json() const {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,13 @@ class FaultInjector {
     return injection_t_s_[k];
   }
 
+  /// Checkpoint support: the schedule cursors only (started/expired flags,
+  /// injection times, counter). The injected *effects* live in the sensor
+  /// state the engine checkpoint already carries; restore targets an injector
+  /// freshly constructed from the identical campaign.
+  void save_state(state::Writer& w) const;
+  void load_state(state::Reader& r);
+
  private:
   void apply_start(std::size_t k, util::Seconds now);
   void apply_expiry(std::size_t k);
@@ -127,9 +135,68 @@ struct CampaignSummary {
 [[nodiscard]] std::uint64_t fleet_trace_checksum(
     const fleet::FleetEngine& engine);
 
+/// The epoch-resolved campaign loop behind run_campaign, broken out so it can
+/// checkpoint between epochs and resume mid-campaign (DESIGN.md §14):
+///
+///   CampaignRunner runner{engine, supervisor, campaign, duration};
+///   while (!runner.done()) {
+///     runner.step(pool);
+///     if (due) manager.write(runner.epoch(), runner.checkpoint());
+///   }
+///   CampaignSummary summary = runner.finish();
+///
+/// step() performs exactly one iteration of the historical run_campaign loop
+/// (inject → step_epoch → poll → outcome scan), so a runner that checkpoints
+/// after epoch k and a fresh runner restored from that image produce
+/// bit-identical summaries — the kill-and-resume contract.
+class CampaignRunner {
+ public:
+  /// The engine should already be commissioned and calibrated; `supervisor`
+  /// must be bound to `engine`.
+  CampaignRunner(fleet::FleetEngine& engine,
+                 fleet::FleetSupervisor& supervisor,
+                 const FaultCampaign& campaign, util::Seconds duration);
+
+  CampaignRunner(const CampaignRunner&) = delete;
+  CampaignRunner& operator=(const CampaignRunner&) = delete;
+
+  /// Advances one epoch (throws std::logic_error once done()).
+  void step(util::ThreadPool* pool = nullptr);
+  [[nodiscard]] bool done() const { return epoch_ >= total_epochs_; }
+  /// Epochs completed so far / scheduled in total.
+  [[nodiscard]] long long epoch() const { return epoch_; }
+  [[nodiscard]] long long total_epochs() const { return total_epochs_; }
+
+  /// Aggregates the summary tail (detection/recovery tallies, flap scan,
+  /// trace checksum). Call once, after done().
+  [[nodiscard]] CampaignSummary finish() const;
+
+  // --- crash-consistent checkpoint/restore ---------------------------------
+  /// One image holding the engine's sections plus the supervisor (SUPV),
+  /// injector cursors (INJC) and this runner's partial outcomes (CAMP).
+  /// Must run between step() calls (the quiescent point).
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint() const;
+  /// Restores engine + supervisor + injector + runner from `image` into this
+  /// freshly constructed trio (identical configs/campaign/duration). Throws
+  /// state::Error on mismatch or corruption.
+  void restore(std::span<const std::uint8_t> image);
+
+ private:
+  fleet::FleetEngine& engine_;
+  fleet::FleetSupervisor& supervisor_;
+  FaultInjector injector_;
+  CampaignSummary summary_;  ///< outcomes filled in as epochs run
+  std::vector<long long> injection_epoch_;
+  std::vector<int> prev_quarantines_;
+  std::vector<int> prev_recoveries_;
+  long long epoch_ = 0;
+  long long total_epochs_ = 0;
+};
+
 /// Runs `duration` of co-simulation with the campaign injected and the
-/// supervisor polling every epoch. The engine should already be commissioned
-/// and calibrated; `supervisor` must be bound to `engine`.
+/// supervisor polling every epoch (a CampaignRunner driven to completion
+/// under one persistent worker team). The engine should already be
+/// commissioned and calibrated; `supervisor` must be bound to `engine`.
 CampaignSummary run_campaign(fleet::FleetEngine& engine,
                              fleet::FleetSupervisor& supervisor,
                              const FaultCampaign& campaign,

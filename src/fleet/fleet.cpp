@@ -1,9 +1,12 @@
 #include "fleet/fleet.hpp"
 
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <exception>
+#include <iterator>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -33,6 +36,34 @@ const obs::Counter kRebalances{"fleet.shard.rebalances"};
 const obs::Histogram kShardImbalance{"fleet.shard.imbalance",
                                      obs::HistogramSpec{1.0, 64.0, 24, true}};
 const obs::Gauge kShardCount{"fleet.shard.count"};
+
+// Checkpoint sections (DESIGN.md §14).
+constexpr std::uint32_t kSectionMeta = state::section_id('M', 'E', 'T', 'A');
+constexpr std::uint32_t kSectionObs = state::section_id('O', 'B', 'S', 'C');
+constexpr std::uint32_t kSectionNet = state::section_id('N', 'E', 'T', 'W');
+constexpr std::uint32_t kSectionEngine = state::section_id('F', 'L', 'E', 'N');
+constexpr std::uint32_t kSectionNodes = state::section_id('N', 'O', 'D', 'S');
+
+// The counters that are part of the deterministic surface (the fleet
+// determinism suite compares them across thread counts); a resumed run must
+// finish with the same totals as an uninterrupted one, so they travel in the
+// checkpoint. Wall-clock histograms and scheduling counters stay out.
+constexpr const char* kCheckpointedCounters[] = {
+    "fleet.epochs",
+    "fleet.solve_failures",
+    "fleet.sensor_steps",
+    "fleet.supervisor.quarantines",
+    "fleet.supervisor.recoveries",
+    "fleet.supervisor.failures",
+    "fleet.supervisor.recommission_attempts",
+    "fleet.supervisor.self_test_failures",
+    "fault.injected",
+    "isif.channel.samples",
+    "isif.channel.overload_blocks",
+    "cta.pi.saturation_events",
+    "cta.pi.antiwindup_holds",
+    "cta.loop.adc_overload_ticks",
+};
 }  // namespace
 
 sim::Schedule diurnal_demand_pattern(Seconds day) {
@@ -288,11 +319,12 @@ void FleetEngine::advance_sensor(std::size_t i) {
 }
 
 void FleetEngine::advance_sensor_group(std::span<const std::uint32_t> ids) {
+  // A singleton still goes through the fused kernel: the batch path's noise
+  // draw order differs from scalar advance, so falling back for groups of one
+  // would make results depend on how the shard planner happened to chunk the
+  // fleet — e.g. an LPT plan with more shards than heavy sensors. Lane math
+  // is per-sensor, so group composition itself never changes results.
   if (ids.empty()) return;
-  if (ids.size() == 1) {  // keep per-sensor spans/costs exact for singletons
-    advance_sensor(ids.front());
-    return;
-  }
   const obs::ScopedSpan group_span{"fleet.sensor_group", t_.value(),
                                    static_cast<double>(ids.size())};
   const auto t0 = std::chrono::steady_clock::now();
@@ -401,6 +433,159 @@ void FleetEngine::step_epoch(util::ThreadPool* pool) {
   t_ += config_.epoch;
   ++epoch_index_;
   kEpochs.add(1);
+}
+
+void FleetEngine::write_checkpoint(state::CheckpointWriter& ck) const {
+  {
+    state::Writer& w = ck.begin_section(kSectionMeta);
+    w.u64(config_.root_seed);
+    // Validation-only counts travel as bare u64s: Reader::size() bounds a
+    // count by the bytes behind it, which is wrong for counts whose elements
+    // live in *other* sections.
+    w.u64(nodes_.size());
+    w.f64(config_.epoch.value());
+    w.u8(static_cast<std::uint8_t>(config_.execution));
+    w.i32(config_.batch_lane_width);
+    w.u64(net_.node_count());
+    w.u64(net_.pipe_count());
+    ck.end_section();
+  }
+  {
+    // Merged totals of the deterministic counters at the quiescent point.
+    state::Writer& w = ck.begin_section(kSectionObs);
+    const obs::Snapshot snap = obs::Registry::instance().snapshot();
+    w.size(std::size(kCheckpointedCounters));
+    for (const char* name : kCheckpointedCounters) {
+      std::uint64_t value = 0;
+      for (const obs::CounterSnapshot& c : snap.counters)
+        if (c.name == name) {
+          value = c.value;
+          break;
+        }
+      w.str(name);
+      w.u64(value);
+    }
+    ck.end_section();
+  }
+  {
+    state::Writer& w = ck.begin_section(kSectionNet);
+    net_.save_state(w);
+    ck.end_section();
+  }
+  {
+    state::Writer& w = ck.begin_section(kSectionEngine);
+    w.f64(t_.value());
+    w.i64(epoch_index_);
+    w.i64(solve_failures_);
+    w.i64(rebalances_);
+    w.size(estimate_valid_.size());
+    for (const std::uint8_t v : estimate_valid_) w.u8(v);
+    state::save_f64_vector(w, hot_.mean_velocity_mps);
+    state::save_f64_vector(w, hot_.point_velocity_mps);
+    state::save_f64_vector(w, hot_.pressure_pa);
+    state::save_f64_vector(w, hot_.temperature_k);
+    state::save_f64_vector(w, hot_.t_s);
+    state::save_f64_vector(w, hot_.bridge_voltage);
+    state::save_f64_vector(w, hot_.filtered_voltage);
+    state::save_f64_vector(w, hot_.estimate_mps);
+    w.size(hot_.direction.size());
+    for (const std::int8_t d : hot_.direction)
+      w.u8(static_cast<std::uint8_t>(d));
+    w.size(hot_.has_sample.size());
+    for (const std::uint8_t h : hot_.has_sample) w.u8(h);
+    state::save_f64_vector(w, hot_.cost_ewma_s);
+    ck.end_section();
+  }
+  {
+    state::Writer& w = ck.begin_section(kSectionNodes);
+    w.size(nodes_.size());
+    for (const auto& node : nodes_) node->save_state(w);
+    ck.end_section();
+  }
+}
+
+std::vector<std::uint8_t> FleetEngine::checkpoint() const {
+  state::CheckpointWriter ck;
+  write_checkpoint(ck);
+  return ck.finish();
+}
+
+void FleetEngine::read_checkpoint(const state::CheckpointReader& ck) {
+  {
+    state::Reader r = ck.section(kSectionMeta);
+    if (r.u64() != config_.root_seed)
+      throw state::Error("FleetEngine: checkpoint root seed mismatch");
+    if (r.u64() != nodes_.size())
+      throw state::Error("FleetEngine: checkpoint sensor count mismatch");
+    if (std::bit_cast<std::uint64_t>(r.f64()) !=
+        std::bit_cast<std::uint64_t>(config_.epoch.value()))
+      throw state::Error("FleetEngine: checkpoint epoch length mismatch");
+    if (r.u8() != static_cast<std::uint8_t>(config_.execution))
+      throw state::Error("FleetEngine: checkpoint execution mode mismatch");
+    if (r.i32() != config_.batch_lane_width)
+      throw state::Error("FleetEngine: checkpoint lane width mismatch");
+    if (r.u64() != net_.node_count() || r.u64() != net_.pipe_count())
+      throw state::Error("FleetEngine: checkpoint network topology mismatch");
+    r.expect_end();
+  }
+  {
+    state::Reader r = ck.section(kSectionObs);
+    const std::size_t n = r.size(9);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string name = r.str();
+      obs::Registry::instance().restore_counter(name, r.u64());
+    }
+    r.expect_end();
+  }
+  {
+    state::Reader r = ck.section(kSectionNet);
+    net_.load_state(r);
+    r.expect_end();
+  }
+  {
+    state::Reader r = ck.section(kSectionEngine);
+    t_ = Seconds{r.f64()};
+    epoch_index_ = r.i64();
+    solve_failures_ = r.i64();
+    rebalances_ = r.i64();
+    if (r.size(1) != estimate_valid_.size())
+      throw state::Error("FleetEngine: estimate mask size mismatch");
+    for (std::uint8_t& v : estimate_valid_) v = r.u8();
+    const auto load_sized = [&](std::vector<double>& v, const char* what) {
+      if (r.size(8) != v.size())
+        throw state::Error(std::string("FleetEngine: hot array size mismatch: ") +
+                           what);
+      for (double& x : v) x = r.f64();
+    };
+    load_sized(hot_.mean_velocity_mps, "mean_velocity");
+    load_sized(hot_.point_velocity_mps, "point_velocity");
+    load_sized(hot_.pressure_pa, "pressure");
+    load_sized(hot_.temperature_k, "temperature");
+    load_sized(hot_.t_s, "t_s");
+    load_sized(hot_.bridge_voltage, "bridge_voltage");
+    load_sized(hot_.filtered_voltage, "filtered_voltage");
+    load_sized(hot_.estimate_mps, "estimate");
+    if (r.size(1) != hot_.direction.size())
+      throw state::Error("FleetEngine: hot array size mismatch: direction");
+    for (std::int8_t& d : hot_.direction) d = static_cast<std::int8_t>(r.u8());
+    if (r.size(1) != hot_.has_sample.size())
+      throw state::Error("FleetEngine: hot array size mismatch: has_sample");
+    for (std::uint8_t& h : hot_.has_sample) h = r.u8();
+    load_sized(hot_.cost_ewma_s, "cost_ewma");
+    r.expect_end();
+  }
+  {
+    state::Reader r = ck.section(kSectionNodes);
+    if (r.size(1) != nodes_.size())
+      throw state::Error("FleetEngine: checkpoint node count mismatch");
+    for (auto& node : nodes_) node->load_state(r);
+    r.expect_end();
+  }
+}
+
+void FleetEngine::restore(std::span<const std::uint8_t> image) {
+  const state::CheckpointReader ck{image};
+  read_checkpoint(ck);
 }
 
 FleetReport FleetEngine::report() const {

@@ -42,6 +42,7 @@
 #include "fleet/shard.hpp"
 #include "hydro/network.hpp"
 #include "sim/schedule.hpp"
+#include "state/checkpoint.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
 #include "util/worker_team.hpp"
@@ -266,6 +267,28 @@ class FleetEngine {
   [[nodiscard]] bool estimate_valid(std::size_t i) const {
     return estimate_valid_[i] != 0;
   }
+
+  // --- crash-consistent checkpoint/restore (DESIGN.md §14) -----------------
+
+  /// Serialises the engine's evolving state into `ck` as CRC-framed sections
+  /// (META config fingerprint, OBSC deterministic counters, NETW hydraulic
+  /// state, FLEN engine scalars + hot SoA, NODS every sensor). Must run at a
+  /// quiescent point — between step_epoch calls, no epoch in flight.
+  /// Composable: campaign layers append their own sections to the same image.
+  void write_checkpoint(state::CheckpointWriter& ck) const;
+
+  /// One self-contained checkpoint image (write_checkpoint + finish).
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint() const;
+
+  /// Restores from a validated image into THIS engine, which must have been
+  /// constructed with the identical config, placements and network — the
+  /// one-time part draws (tolerances, offsets, mismatch) are reproduced by
+  /// reconstruction and never enter a checkpoint. Validates the META section
+  /// against the live config and throws state::Error on any mismatch or
+  /// malformed payload; restore into a fresh instance after a throw.
+  void read_checkpoint(const state::CheckpointReader& ck);
+  /// Convenience: CheckpointReader(image) + read_checkpoint.
+  void restore(std::span<const std::uint8_t> image);
 
  private:
   [[nodiscard]] PipeState pipe_state_for(const SensorNode& node) const;

@@ -6,6 +6,7 @@
 #include "hydro/profiles.hpp"
 #include "phys/fluid.hpp"
 #include "simd/cta_batch.hpp"
+#include "state/rng_io.hpp"
 
 namespace aqua::fleet {
 
@@ -146,6 +147,58 @@ void SensorNode::append_trace_sample(const PipeState& state) {
     sample.direction = anemometer_.direction();
   }
   trace_.push_back(sample);
+}
+
+void SensorNode::save_state(state::Writer& w) const {
+  state::save_rng(w, rng_);
+  anemometer_.save_state(w);
+  w.boolean(estimator_.has_value());
+  if (estimator_) estimator_->save_state(w);
+  w.boolean(last_self_test_.has_value());
+  if (last_self_test_) {
+    w.f64(last_self_test_->measured_gain);
+    w.f64(last_self_test_->gain_error);
+    w.boolean(last_self_test_->pass);
+  }
+  w.f64(turbulence_state_);
+  w.size(trace_.size());
+  for (const TraceSample& s : trace_) {
+    w.f64(s.t_s);
+    w.f64(s.bridge_voltage);
+    w.f64(s.filtered_voltage);
+    w.f64(s.estimate_mps);
+    w.f64(s.true_mean_mps);
+    w.i32(s.direction);
+  }
+}
+
+void SensorNode::load_state(state::Reader& r) {
+  state::load_rng(r, rng_);
+  anemometer_.load_state(r);
+  if (r.boolean()) {
+    estimator_ = cta::FlowEstimator::load_state(r);
+  } else {
+    estimator_.reset();
+  }
+  if (r.boolean()) {
+    isif::ChannelSelfTestResult result;
+    result.measured_gain = r.f64();
+    result.gain_error = r.f64();
+    result.pass = r.boolean();
+    last_self_test_ = result;
+  } else {
+    last_self_test_.reset();
+  }
+  turbulence_state_ = r.f64();
+  trace_.resize(r.size(44));
+  for (TraceSample& s : trace_) {
+    s.t_s = r.f64();
+    s.bridge_voltage = r.f64();
+    s.filtered_voltage = r.f64();
+    s.estimate_mps = r.f64();
+    s.true_mean_mps = r.f64();
+    s.direction = r.i32();
+  }
 }
 
 void SensorNode::advance_group(std::span<SensorNode* const> nodes,

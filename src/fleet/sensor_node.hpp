@@ -166,6 +166,13 @@ class SensorNode {
     return rng_.fingerprint();
   }
 
+  /// Checkpoint support: the node's RNG stream, the whole CTA loop, the
+  /// installed estimator/self-test result, the turbulence AR(1) state and
+  /// the FULL trace — the fleet trace checksum folds every sample, so resume
+  /// must reproduce the entire history, not just the tail.
+  void save_state(state::Writer& w) const;
+  void load_state(state::Reader& r);
+
  private:
   /// Environment at the probe head: point velocity + AR(1) turbulence.
   [[nodiscard]] maf::Environment environment_for(const PipeState& state) const;

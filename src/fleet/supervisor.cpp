@@ -135,6 +135,67 @@ void FleetSupervisor::attempt_recommission(std::size_t i,
   sup.clean_streak = 0;
 }
 
+void FleetSupervisor::save_state(state::Writer& w) const {
+  w.size(nodes_.size());
+  for (const NodeSupervision& sup : nodes_) {
+    w.u8(static_cast<std::uint8_t>(sup.state));
+    w.i32(sup.faulty_streak);
+    w.i32(sup.clean_streak);
+    w.i32(sup.backoff_remaining);
+    w.i32(sup.backoff_next);
+    w.i32(sup.recommission_attempts);
+    w.i32(sup.quarantine_entries);
+    w.i32(sup.recoveries);
+    w.i64(sup.first_fault_epoch);
+    w.i64(sup.quarantined_epoch);
+    w.f64(sup.quarantined_t_s);
+    w.f64(sup.recovered_t_s);
+    w.size(sup.last_faults.size());
+    for (const cta::FaultCode code : sup.last_faults)
+      w.i32(static_cast<std::int32_t>(code));
+  }
+  for (const cta::HealthMonitor& monitor : monitors_)
+    monitor.save_state(w);
+  w.i64(stats_.quarantines);
+  w.i64(stats_.recoveries);
+  w.i64(stats_.failures);
+  w.i64(stats_.recommission_attempts);
+  w.i64(stats_.self_test_failures);
+  w.i64(polls_);
+}
+
+void FleetSupervisor::load_state(state::Reader& r) {
+  if (r.size(46) != nodes_.size())
+    throw state::Error("FleetSupervisor: node count mismatch");
+  for (NodeSupervision& sup : nodes_) {
+    const std::uint8_t st = r.u8();
+    if (st > static_cast<std::uint8_t>(NodeHealthState::kFailed))
+      throw state::Error("FleetSupervisor: bad node health state");
+    sup.state = static_cast<NodeHealthState>(st);
+    sup.faulty_streak = r.i32();
+    sup.clean_streak = r.i32();
+    sup.backoff_remaining = r.i32();
+    sup.backoff_next = r.i32();
+    sup.recommission_attempts = r.i32();
+    sup.quarantine_entries = r.i32();
+    sup.recoveries = r.i32();
+    sup.first_fault_epoch = r.i64();
+    sup.quarantined_epoch = r.i64();
+    sup.quarantined_t_s = r.f64();
+    sup.recovered_t_s = r.f64();
+    sup.last_faults.resize(r.size(4));
+    for (cta::FaultCode& code : sup.last_faults)
+      code = static_cast<cta::FaultCode>(r.i32());
+  }
+  for (cta::HealthMonitor& monitor : monitors_) monitor.load_state(r);
+  stats_.quarantines = r.i64();
+  stats_.recoveries = r.i64();
+  stats_.failures = r.i64();
+  stats_.recommission_attempts = r.i64();
+  stats_.self_test_failures = r.i64();
+  polls_ = r.i64();
+}
+
 void FleetSupervisor::poll() {
   ++polls_;
   for (std::size_t i = 0; i < engine_.size(); ++i) {

@@ -111,6 +111,13 @@ class FleetSupervisor {
   /// Sensors currently contributing valid estimates (healthy or suspect).
   [[nodiscard]] std::size_t in_service_count() const;
 
+  /// Checkpoint support: every per-node state machine (including backoff
+  /// counters and streaks), every HealthMonitor history, the aggregate stats
+  /// and the poll counter. Restore targets a supervisor freshly constructed
+  /// on the restored engine with the identical config.
+  void save_state(state::Writer& w) const;
+  void load_state(state::Reader& r);
+
  private:
   void enter_quarantine(std::size_t i, NodeSupervision& sup);
   void attempt_recommission(std::size_t i, NodeSupervision& sup);

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "state/serial.hpp"
 #include "util/units.hpp"
 
 namespace aqua::hydro {
@@ -71,6 +72,38 @@ class WaterNetwork {
   [[nodiscard]] std::size_t pipe_count() const { return pipes_.size(); }
   /// Total demand + leak outflow (m³/s) — mass-balance checks in tests.
   [[nodiscard]] double total_outflow() const;
+
+  /// Checkpoint support: demands, emitters, valve states and — critically for
+  /// bit-identical resume — the last solution (heads and flows), which seeds
+  /// the next solve's successive linearisation.
+  void save_state(state::Writer& w) const {
+    w.size(nodes_.size());
+    for (const Node& n : nodes_) {
+      w.f64(n.demand);
+      w.f64(n.emitter);
+      w.f64(n.head);
+    }
+    w.size(pipes_.size());
+    for (const Pipe& p : pipes_) {
+      w.f64(p.flow);
+      w.boolean(p.open);
+    }
+  }
+  void load_state(state::Reader& r) {
+    if (r.size(24) != nodes_.size())
+      throw state::Error("WaterNetwork: node count mismatch");
+    for (Node& n : nodes_) {
+      n.demand = r.f64();
+      n.emitter = r.f64();
+      n.head = r.f64();
+    }
+    if (r.size(9) != pipes_.size())
+      throw state::Error("WaterNetwork: pipe count mismatch");
+    for (Pipe& p : pipes_) {
+      p.flow = r.f64();
+      p.open = r.boolean();
+    }
+  }
 
  private:
   struct Node {

@@ -130,6 +130,34 @@ class InputChannel {
 
   void reset();
 
+  /// Checkpoint support: every streaming stage plus the injected fault (a
+  /// physical defect persists through reset, so it must persist through a
+  /// crash too) and the frame/overload bookkeeping.
+  void save_state(state::Writer& w) const {
+    amp_.save_state(w);
+    lpf_.save_state(w);
+    adc_.save_state(w);
+    cic_.save_state(w);
+    w.u32(fault_.stuck_high);
+    w.u32(fault_.stuck_low);
+    w.f64(fault_.offset_volts);
+    w.boolean(overload_latch_);
+    w.boolean(overload_episode_);
+    w.i32(frame_phase_);
+  }
+  void load_state(state::Reader& r) {
+    amp_.load_state(r);
+    lpf_.load_state(r);
+    adc_.load_state(r);
+    cic_.load_state(r);
+    fault_.stuck_high = r.u32();
+    fault_.stuck_low = r.u32();
+    fault_.offset_volts = r.f64();
+    overload_latch_ = r.boolean();
+    overload_episode_ = r.boolean();
+    frame_phase_ = r.i32();
+  }
+
  private:
   ChannelSample make_sample(double normalised);
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "analog/dac.hpp"
+#include "state/serial.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -38,6 +39,19 @@ class DacController {
   [[nodiscard]] int current_code() const { return dac_.code(); }
   [[nodiscard]] int target_code() const { return target_; }
   [[nodiscard]] const analog::ThermometerDac& dac() const { return dac_; }
+
+  /// Checkpoint support: DAC state, slew target and supply droop (the droop
+  /// survives reset, so it must survive a crash too).
+  void save_state(state::Writer& w) const {
+    dac_.save_state(w);
+    w.i32(target_);
+    w.f64(droop_);
+  }
+  void load_state(state::Reader& r) {
+    dac_.load_state(r);
+    target_ = r.i32();
+    droop_ = r.f64();
+  }
 
  private:
   analog::ThermometerDac dac_;

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "state/serial.hpp"
 #include "util/units.hpp"
 
 namespace aqua::isif {
@@ -52,6 +53,23 @@ class Firmware {
 
   [[nodiscard]] util::Hertz base_rate() const { return base_rate_; }
   [[nodiscard]] long long ticks() const { return ticks_; }
+
+  /// Checkpoint support: tick counter, load accounting, pending overrun and
+  /// watchdog. The task table is configuration and is rebuilt by the owner.
+  void save_state(state::Writer& w) const {
+    w.i64(ticks_);
+    w.f64(total_cycles_);
+    w.f64(peak_tick_cycles_);
+    w.f64(pending_overrun_cycles_);
+    w.boolean(watchdog_);
+  }
+  void load_state(state::Reader& r) {
+    ticks_ = r.i64();
+    total_cycles_ = r.f64();
+    peak_tick_cycles_ = r.f64();
+    pending_overrun_cycles_ = r.f64();
+    watchdog_ = r.boolean();
+  }
 
  private:
   struct Task {

@@ -49,6 +49,26 @@ class IirIp {
   /// LEON cycles consumed per sample (0 for the hardware IP).
   [[nodiscard]] int cycles_per_sample() const;
 
+  /// Checkpoint support: both paths' delay states (only one is live per
+  /// implementation, but saving both keeps the format implementation-blind).
+  void save_state(state::Writer& w) const {
+    float_path_.save_state(w);
+    w.size(fixed_path_.size());
+    for (const FixedSection& s : fixed_path_) {
+      w.i32(s.s1.raw());
+      w.i32(s.s2.raw());
+    }
+  }
+  void load_state(state::Reader& r) {
+    float_path_.load_state(r);
+    if (r.size(8) != fixed_path_.size())
+      throw state::Error("IirIp: fixed section count mismatch");
+    for (FixedSection& s : fixed_path_) {
+      s.s1 = dsp::Q23::from_raw(r.i32());
+      s.s2 = dsp::Q23::from_raw(r.i32());
+    }
+  }
+
  private:
   struct FixedSection {
     dsp::Q23 b0, b1, b2, a1, a2;
@@ -76,6 +96,18 @@ class PiIp {
   [[nodiscard]] IpImpl implementation() const { return impl_; }
   [[nodiscard]] int cycles_per_sample() const;
   [[nodiscard]] double output() const;
+
+  /// Checkpoint support: float-path controller, Q23 integrator, last output.
+  void save_state(state::Writer& w) const {
+    float_path_.save_state(w);
+    w.i32(integral_.raw());
+    w.f64(last_output_);
+  }
+  void load_state(state::Reader& r) {
+    float_path_.load_state(r);
+    integral_ = dsp::Q23::from_raw(r.i32());
+    last_output_ = r.f64();
+  }
 
  private:
   IpImpl impl_;

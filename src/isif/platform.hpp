@@ -49,6 +49,21 @@ class Isif {
   /// per-part mismatch draws persist, as they would through a chip reset.
   void reset();
 
+  /// Checkpoint support: all channels, DAC controllers, firmware accounting
+  /// and register contents.
+  void save_state(state::Writer& w) const {
+    for (const auto& ch : channels_) ch->save_state(w);
+    for (const auto& dac : dacs_) dac->save_state(w);
+    firmware_.save_state(w);
+    regs_.save_state(w);
+  }
+  void load_state(state::Reader& r) {
+    for (const auto& ch : channels_) ch->load_state(r);
+    for (const auto& dac : dacs_) dac->load_state(r);
+    firmware_.load_state(r);
+    regs_.load_state(r);
+  }
+
  private:
   IsifConfig config_;
   std::array<std::unique_ptr<InputChannel>, kChannelCount> channels_;

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "state/serial.hpp"
+
 namespace aqua::isif {
 
 struct FieldSpec {
@@ -36,6 +38,28 @@ class RegisterFile {
                                          const std::string& field) const;
 
   [[nodiscard]] std::vector<std::string> register_names() const;
+
+  /// Checkpoint support: name → raw value pairs. Field declarations are
+  /// configuration; a loaded name that was never define()d is corruption.
+  void save_state(state::Writer& w) const {
+    w.size(regs_.size());
+    for (const auto& [name, reg] : regs_) {
+      w.str(name);
+      w.u32(reg.value);
+    }
+  }
+  void load_state(state::Reader& r) {
+    const std::size_t n = r.size(12);
+    if (n != regs_.size())
+      throw state::Error("RegisterFile: register count mismatch");
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string name = r.str();
+      const auto it = regs_.find(name);
+      if (it == regs_.end())
+        throw state::Error("RegisterFile: unknown register " + name);
+      it->second.value = r.u32();
+    }
+  }
 
  private:
   struct Register {

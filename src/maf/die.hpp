@@ -134,6 +134,22 @@ class MafDie {
 
   [[nodiscard]] const MafSpec& spec() const { return spec_; }
 
+  /// Checkpoint support: fouling surfaces, thermal state and the latched
+  /// membrane flag. The R0 tolerance draws are part properties, reproduced by
+  /// reconstruction.
+  void save_state(state::Writer& w) const {
+    fouling_a_.save_state(w);
+    fouling_b_.save_state(w);
+    net_.save_state(w);
+    w.boolean(membrane_intact_);
+  }
+  void load_state(state::Reader& r) {
+    fouling_a_.load_state(r);
+    fouling_b_.load_state(r);
+    net_.load_state(r);
+    membrane_intact_ = r.boolean();
+  }
+
  private:
   void build_network();
   void update_conductances(const Environment& env);

@@ -7,6 +7,7 @@
 #include "maf/environment.hpp"
 #include "phys/carbonate.hpp"
 #include "phys/saturation.hpp"
+#include "state/serial.hpp"
 #include "util/units.hpp"
 
 namespace aqua::maf {
@@ -60,6 +61,17 @@ class FoulingState {
 
   [[nodiscard]] const FoulingParameters& parameters() const { return params_; }
   void set_parameters(const FoulingParameters& p) { params_ = p; }
+
+  /// Checkpoint support: the two surface states, bypassing the clamping
+  /// setters so restore is exact.
+  void save_state(state::Writer& w) const {
+    w.f64(bubble_coverage_);
+    w.f64(deposit_thickness_);
+  }
+  void load_state(state::Reader& r) {
+    bubble_coverage_ = r.f64();
+    deposit_thickness_ = r.f64();
+  }
 
  private:
   FoulingParameters params_;

@@ -6,6 +6,7 @@
 // months-long soak of E8) can report them.
 #pragma once
 
+#include "state/rng_io.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -66,6 +67,20 @@ class Package {
   void inject_moisture(double amount);
 
   [[nodiscard]] double moisture() const { return moisture_; }
+
+  /// Checkpoint support: moisture (permanent fault state), corrosion and the
+  /// pitting draw stream; bypasses inject_moisture's clamp so restore is
+  /// exact.
+  void save_state(state::Writer& w) const {
+    state::save_rng(w, rng_);
+    w.f64(moisture_);
+    w.f64(corrosion_);
+  }
+  void load_state(state::Reader& r) {
+    state::load_rng(r, rng_);
+    moisture_ = r.f64();
+    corrosion_ = r.f64();
+  }
 
  private:
   PackageSpec spec_;

@@ -2,8 +2,22 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <mutex>
+#include <set>
 
 namespace aqua::obs {
+
+namespace {
+/// Loaded labels must outlive every event that points at them, so they are
+/// interned into a leaked process-lifetime pool (labels are a handful of
+/// distinct literals in practice, so the pool stays tiny).
+const char* intern_label(const std::string& label) {
+  static std::mutex mu;
+  static auto* pool = new std::set<std::string>();
+  const std::lock_guard<std::mutex> lock(mu);
+  return pool->insert(label).first->c_str();
+}
+}  // namespace
 
 const char* flight_kind_name(FlightRecordKind kind) {
   switch (kind) {
@@ -68,6 +82,35 @@ std::size_t FlightRecorder::size() const {
 void FlightRecorder::clear() {
   write_ = 0;
   dropped_ = 0;
+}
+
+void FlightRecorder::save_state(state::Writer& w) const {
+  w.size(ring_.size());
+  w.u64(write_);
+  w.u64(dropped_);
+  for (const FlightEvent& ev : ring_) {
+    w.f64(ev.t_s);
+    w.u8(static_cast<std::uint8_t>(ev.kind));
+    w.i32(ev.code);
+    w.f64(ev.value);
+    w.str(ev.label != nullptr ? std::string_view{ev.label}
+                              : std::string_view{});
+  }
+}
+
+void FlightRecorder::load_state(state::Reader& r) {
+  if (r.size(29) != ring_.size())
+    throw state::Error("FlightRecorder: ring capacity mismatch");
+  write_ = r.u64();
+  dropped_ = r.u64();
+  for (FlightEvent& ev : ring_) {
+    ev.t_s = r.f64();
+    ev.kind = static_cast<FlightRecordKind>(r.u8());
+    ev.code = r.i32();
+    ev.value = r.f64();
+    const std::string label = r.str();
+    ev.label = label.empty() ? nullptr : intern_label(label);
+  }
 }
 
 std::string FlightRecorder::dump_text(const std::string& header) const {

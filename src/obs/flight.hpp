@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "state/serial.hpp"
+
 namespace aqua::obs {
 
 enum class FlightRecordKind : std::uint8_t {
@@ -68,6 +70,11 @@ class FlightRecorder {
   /// prefixed with `header` when non-empty. Intended for fault-latch dumps
   /// and `examples/diagnostics`.
   [[nodiscard]] std::string dump_text(const std::string& header = {}) const;
+
+  /// Checkpoint support: the full ring (labels serialised by value and
+  /// interned on load, since live events hold immortal pointers only).
+  void save_state(state::Writer& w) const;
+  void load_state(state::Reader& r);
 
  private:
   std::vector<FlightEvent> ring_;

@@ -1,5 +1,6 @@
 #include "obs/json.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -47,6 +48,11 @@ std::string escape_json_string(std::string_view s) {
 }
 
 std::string json_double(double v) {
+  // JSON has no NaN/Infinity literals; emitting printf's "nan"/"inf" would
+  // produce a document every conforming parser rejects. A non-finite metric
+  // (poisoned gauge, uninitialised min/max) becomes null so the export stays
+  // machine-readable and the hole stays visible.
+  if (!std::isfinite(v)) return "null";
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;

@@ -243,6 +243,24 @@ void Registry::zero_shard(Shard& shard) {
   }
 }
 
+void Registry::restore_counter(std::string_view name, std::uint64_t value) {
+  const std::uint32_t slot = register_counter(name);
+  Shard& mine = local_shard();  // may lock; acquire before the scrape lock
+  std::uint64_t current = 0;
+  {
+    std::lock_guard lock{mutex_};
+    for (const auto& shard : shards_)
+      current += shard->counters[slot].load(std::memory_order_relaxed);
+  }
+  // Unsigned wrap-around makes the delta-add exact even when the current
+  // merged total already exceeds the checkpointed value.
+  mine.counters[slot].fetch_add(value - current, std::memory_order_relaxed);
+}
+
+void Registry::restore_gauge(std::string_view name, double value) {
+  gauge_set(register_gauge(name), value);
+}
+
 void Registry::zero() {
   std::lock_guard lock{mutex_};
   for (const auto& shard : shards_) zero_shard(*shard);

@@ -113,6 +113,15 @@ class Registry {
   /// be partially lost, never corrupted.
   void zero();
 
+  /// Checkpoint support: forces the *merged* value of a named counter to
+  /// `value` by writing the compensating (wrapping) delta into the calling
+  /// thread's shard — existing shards are never touched, so this is safe
+  /// against the free-list. Registers the name if unseen. Callers must
+  /// quiesce instrumented threads first, as with zero().
+  void restore_counter(std::string_view name, std::uint64_t value);
+  /// Checkpoint support: last-write-wins restore of a named gauge.
+  void restore_gauge(std::string_view name, double value);
+
   /// Collection switch (default on). Purely additive: the simulation datapath
   /// is identical either way — that is the determinism guarantee, not a
   /// consequence of this flag.

@@ -11,10 +11,12 @@
 // coefficients, growing deposits).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "state/serial.hpp"
 #include "util/units.hpp"
 
 namespace aqua::phys {
@@ -74,6 +76,36 @@ class ThermalNetwork {
 
   [[nodiscard]] util::Kelvin temperature(NodeId n) const;
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Checkpoint support: per-node temperature and power, per-edge
+  /// conductance. Topology, adjacency and the decay memo are not serialised —
+  /// the memo is a pure cache (exp() of the same argument recomputes to the
+  /// same bits), so a restored network replays bit-identically.
+  void save_state(state::Writer& w) const {
+    w.size(nodes_.size());
+    for (const Node& n : nodes_) {
+      w.f64(n.temperature);
+      w.f64(n.power);
+    }
+    w.size(edges_.size());
+    for (const Edge& e : edges_) w.f64(e.g);
+  }
+  void load_state(state::Reader& r) {
+    if (r.size(16) != nodes_.size())
+      throw state::Error("ThermalNetwork: node count mismatch");
+    for (Node& n : nodes_) {
+      n.temperature = r.f64();
+      n.power = r.f64();
+    }
+    if (r.size(8) != edges_.size())
+      throw state::Error("ThermalNetwork: edge count mismatch");
+    for (Edge& e : edges_) e.g = r.f64();
+    // The decay memo needs no serialising: it maps an exact argument to its
+    // exp(), so a post-restore hit returns the same bits a recompute would.
+    // Clearing it anyway keeps restored and freshly-built networks in the
+    // same (empty-cache) starting state.
+    decay_arg_.assign(decay_arg_.size(), std::nan(""));
+  }
 
  private:
   struct Node {

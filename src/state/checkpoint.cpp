@@ -1,0 +1,262 @@
+#include "state/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace aqua::state {
+
+namespace fs = std::filesystem;
+
+namespace {
+const obs::Counter kCorrupt{"state.checkpoint.corrupt"};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void fsync_fd_or_throw(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("state: fsync failed for " + path);
+  }
+}
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data)
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// --- CheckpointWriter -------------------------------------------------------
+
+Writer& CheckpointWriter::begin_section(std::uint32_t id) {
+  if (open_)
+    throw std::logic_error("CheckpointWriter: section already open");
+  open_ = true;
+  current_id_ = id;
+  current_ = Writer{};
+  return current_;
+}
+
+void CheckpointWriter::end_section() {
+  if (!open_) throw std::logic_error("CheckpointWriter: no open section");
+  sections_.push_back(Section{current_id_, current_.take()});
+  open_ = false;
+}
+
+std::vector<std::uint8_t> CheckpointWriter::finish() {
+  if (open_)
+    throw std::logic_error("CheckpointWriter: finish with a section open");
+  Writer out;
+  out.bytes(kMagic.data(), kMagic.size());
+  out.u32(kFormatVersion);
+  for (const Section& s : sections_) {
+    out.u32(s.id);
+    out.u64(s.payload.size());
+    out.u32(crc32(s.payload));
+    out.bytes(s.payload.data(), s.payload.size());
+  }
+  sections_.clear();
+  return out.take();
+}
+
+// --- CheckpointReader -------------------------------------------------------
+
+CheckpointReader::CheckpointReader(std::span<const std::uint8_t> image) {
+  if (image.size() < kMagic.size() + 4)
+    throw Error("checkpoint: torn header (shorter than magic + version)");
+  if (!std::equal(kMagic.begin(), kMagic.end(), image.begin()))
+    throw Error("checkpoint: bad magic");
+  Reader header(image.subspan(kMagic.size()));
+  version_ = header.u32();
+  if (version_ != kFormatVersion)
+    throw Error("checkpoint: unsupported format version " +
+                std::to_string(version_) + " (this build reads " +
+                std::to_string(kFormatVersion) + ")");
+  std::size_t offset = kMagic.size() + 4;
+  while (offset < image.size()) {
+    if (image.size() - offset < 16)
+      throw Error("checkpoint: torn section frame header");
+    Reader frame(image.subspan(offset, 16));
+    const std::uint32_t id = frame.u32();
+    const std::uint64_t length = frame.u64();
+    const std::uint32_t expected_crc = frame.u32();
+    offset += 16;
+    if (length > image.size() - offset)
+      throw Error("checkpoint: section payload truncated");
+    const auto payload = image.subspan(offset, static_cast<std::size_t>(length));
+    if (crc32(payload) != expected_crc)
+      throw Error("checkpoint: section CRC mismatch (bit flip or torn write)");
+    sections_.push_back(Section{id, payload});
+    offset += static_cast<std::size_t>(length);
+  }
+}
+
+Reader CheckpointReader::section(std::uint32_t id) const {
+  for (const Section& s : sections_)
+    if (s.id == id) return Reader(s.payload);
+  throw Error("checkpoint: required section missing");
+}
+
+bool CheckpointReader::has_section(std::uint32_t id) const {
+  return std::any_of(sections_.begin(), sections_.end(),
+                     [id](const Section& s) { return s.id == id; });
+}
+
+// --- atomic file I/O --------------------------------------------------------
+
+void write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("state: cannot create " + tmp);
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ::ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      errno = err;
+      throw_errno("state: write failed for " + tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  fsync_fd_or_throw(fd, tmp);
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    errno = err;
+    throw_errno("state: rename failed for " + path);
+  }
+  // The rename itself must be durable: fsync the containing directory.
+  const std::string dir = fs::path(path).parent_path().string();
+  const int dirfd =
+      ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    // Best effort: some filesystems refuse directory fsync; the rename is
+    // still atomic, just not yet durable against power loss.
+    (void)::fsync(dirfd);
+    ::close(dirfd);
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw_errno("state: cannot open " + path);
+  std::vector<std::uint8_t> data;
+  std::uint8_t buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+    data.insert(data.end(), buf, buf + n);
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) throw std::runtime_error("state: read failed for " + path);
+  return data;
+}
+
+// --- CheckpointManager ------------------------------------------------------
+
+CheckpointManager::CheckpointManager(std::string dir, std::string stem,
+                                     std::size_t retain)
+    : dir_(std::move(dir)), stem_(std::move(stem)),
+      retain_(retain == 0 ? 1 : retain) {
+  fs::create_directories(dir_);
+}
+
+std::string CheckpointManager::path_for(std::uint64_t epoch) const {
+  char name[64];
+  std::snprintf(name, sizeof name, "-%012llu.aqcp",
+                static_cast<unsigned long long>(epoch));
+  return (fs::path(dir_) / (stem_ + name)).string();
+}
+
+std::string CheckpointManager::write(std::uint64_t epoch,
+                                     std::span<const std::uint8_t> image) {
+  const std::string path = path_for(epoch);
+  write_file_atomic(path, image);
+  std::vector<std::string> all = list();
+  if (all.size() > retain_)
+    for (std::size_t i = 0; i + retain_ < all.size(); ++i) {
+      std::error_code ec;
+      fs::remove(all[i], ec);  // retention pruning is best-effort
+    }
+  return path;
+}
+
+std::vector<std::string> CheckpointManager::list() const {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with(stem_ + "-") && name.ends_with(".aqcp"))
+      paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());  // zero-padded epoch ⇒ name order
+  return paths;
+}
+
+std::optional<LoadedCheckpoint> CheckpointManager::load_newest_valid() const {
+  std::vector<std::string> paths = list();
+  for (auto it = paths.rbegin(); it != paths.rend(); ++it) {
+    std::vector<std::uint8_t> image;
+    try {
+      image = read_file(*it);
+      const CheckpointReader reader(image);  // full validation
+    } catch (const std::exception& e) {
+      kCorrupt.add(1);
+      util::log_warn() << "checkpoint " << *it
+                       << " rejected (falling back to an older one): "
+                       << e.what();
+      continue;
+    }
+    LoadedCheckpoint loaded;
+    loaded.path = *it;
+    const std::string name = fs::path(*it).filename().string();
+    const std::size_t dash = name.rfind('-');
+    const std::size_t dot = name.rfind('.');
+    if (dash != std::string::npos && dot != std::string::npos && dot > dash) {
+      const char* first = name.data() + dash + 1;
+      const char* last = name.data() + dot;
+      unsigned long long epoch = 0;
+      if (std::from_chars(first, last, epoch).ec == std::errc{})
+        loaded.epoch = epoch;
+    }
+    loaded.image = std::move(image);
+    return loaded;
+  }
+  return std::nullopt;
+}
+
+}  // namespace aqua::state

@@ -1,0 +1,27 @@
+// rng_io.hpp — checkpoint serialisation of util::Rng draw streams. The
+// counter-based streams are the determinism anchor (DESIGN.md §7): restoring
+// the four xoshiro words plus the Box–Muller spare puts every subsequent
+// draw back on the exact bit sequence the interrupted run would have seen.
+#pragma once
+
+#include "state/serial.hpp"
+#include "util/rng.hpp"
+
+namespace aqua::state {
+
+inline void save_rng(Writer& w, const util::Rng& rng) {
+  const util::Rng::State s = rng.state();
+  for (const std::uint64_t word : s.s) w.u64(word);
+  w.f64(s.spare);
+  w.boolean(s.has_spare);
+}
+
+inline void load_rng(Reader& r, util::Rng& rng) {
+  util::Rng::State s;
+  for (std::uint64_t& word : s.s) word = r.u64();
+  s.spare = r.f64();
+  s.has_spare = r.boolean();
+  rng.set_state(s);
+}
+
+}  // namespace aqua::state

@@ -84,6 +84,31 @@ TEST(ObsJsonDoubles, RoundTripExactFormatting) {
   }
 }
 
+TEST(ObsJsonDoubles, NonFiniteValuesBecomeNull) {
+  // JSON has no NaN/Infinity literals — a poisoned gauge must not make the
+  // whole export unparseable.
+  EXPECT_EQ(obs::json_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(obs::json_double(-std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(obs::json_double(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(obs::json_double(-std::numeric_limits<double>::infinity()), "null");
+  // Finite extremes are untouched.
+  EXPECT_NE(obs::json_double(std::numeric_limits<double>::max()), "null");
+  EXPECT_NE(obs::json_double(-0.0), "null");
+}
+
+TEST(ObsJsonDoubles, NaNGaugeStillProducesValidJson) {
+  obs::Snapshot snap;
+  snap.gauges.push_back({"poisoned.gauge",
+                         std::numeric_limits<double>::quiet_NaN()});
+  snap.gauges.push_back({"fine.gauge", 1.25});
+  const std::string json = obs::to_json(snap);
+  EXPECT_TRUE(aqua::testing::JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"poisoned.gauge\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fine.gauge\": 1.25"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
 TEST(ObsJsonDoubles, GaugeValuesRoundTripThroughFullExport) {
   const double v = 0.30000000000000004;  // classic 0.1+0.2 artefact
   obs::Snapshot snap;

@@ -1,0 +1,146 @@
+// Writer/Reader primitives: every scalar shape round-trips bit-exactly, and
+// every malformed stream — truncation, bad booleans, absurd container
+// lengths, trailing bytes — surfaces as state::Error, never UB. These are the
+// primitives the whole checkpoint format (DESIGN.md §14) stands on.
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "state/rng_io.hpp"
+#include "state/serial.hpp"
+#include "util/rng.hpp"
+
+namespace aqua {
+namespace {
+
+using state::Reader;
+using state::Writer;
+
+TEST(Serial, ScalarsRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.i64(-1234567890123456789ll);
+  w.f64(3.141592653589793);
+  w.boolean(true);
+  w.boolean(false);
+  w.str("hot wire");
+  const std::vector<std::uint8_t> buf = w.take();
+
+  Reader r{buf};
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123456789ll);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()),
+            std::bit_cast<std::uint64_t>(3.141592653589793));
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.str(), "hot wire");
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(Serial, NonFiniteDoublesKeepTheirExactBitPattern) {
+  // Checkpoints carry IEEE bit patterns, not values: a signalling NaN, a
+  // negative zero and both infinities must survive a round trip unchanged.
+  const double values[] = {std::numeric_limits<double>::quiet_NaN(),
+                           -std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           -0.0,
+                           std::numeric_limits<double>::denorm_min()};
+  Writer w;
+  for (const double v : values) w.f64(v);
+  const auto buf = w.take();
+  Reader r{buf};
+  for (const double v : values)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()),
+              std::bit_cast<std::uint64_t>(v));
+}
+
+TEST(Serial, F64VectorRoundTrips) {
+  const std::vector<double> v{0.0, -1.5, 6.02e23, std::nan("")};
+  Writer w;
+  state::save_f64_vector(w, v);
+  const auto buf = w.take();
+  Reader r{buf};
+  std::vector<double> out;
+  state::load_f64_vector(r, out);
+  ASSERT_EQ(out.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out[i]),
+              std::bit_cast<std::uint64_t>(v[i]));
+}
+
+TEST(Serial, TruncatedStreamThrows) {
+  Writer w;
+  w.u64(7);
+  auto buf = w.take();
+  buf.pop_back();
+  Reader r{buf};
+  EXPECT_THROW((void)r.u64(), state::Error);
+}
+
+TEST(Serial, EmptyStreamThrowsOnAnyRead) {
+  const std::vector<std::uint8_t> empty;
+  Reader r{empty};
+  EXPECT_THROW((void)r.u8(), state::Error);
+}
+
+TEST(Serial, BadBooleanByteThrows) {
+  const std::vector<std::uint8_t> buf{2};
+  Reader r{buf};
+  EXPECT_THROW((void)r.boolean(), state::Error);
+}
+
+TEST(Serial, CorruptContainerLengthCannotDriveAllocation) {
+  // A flipped length must throw before a multi-gigabyte resize: the guard
+  // bounds any count by the bytes that could possibly back it.
+  Writer w;
+  w.u64(std::numeric_limits<std::uint64_t>::max() / 2);
+  const auto buf = w.take();
+  Reader r{buf};
+  EXPECT_THROW((void)r.size(8), state::Error);
+}
+
+TEST(Serial, TrailingBytesFailExpectEnd) {
+  Writer w;
+  w.u32(1);
+  w.u8(0);
+  const auto buf = w.take();
+  Reader r{buf};
+  (void)r.u32();
+  EXPECT_THROW(r.expect_end(), state::Error);
+}
+
+TEST(Serial, RngStreamPositionRoundTrips) {
+  // The resume contract for every stochastic component: a saved stream
+  // continues exactly where the original would have.
+  util::Rng rng{20260808};
+  for (int i = 0; i < 1000; ++i) (void)rng.uniform();
+  Writer w;
+  state::save_rng(w, rng);
+  const auto buf = w.take();
+
+  util::Rng fresh{1};  // deliberately different seed/position
+  Reader r{buf};
+  state::load_rng(r, fresh);
+  EXPECT_NO_THROW(r.expect_end());
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.uniform();
+    const double b = fresh.uniform();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b));
+  }
+}
+
+}  // namespace
+}  // namespace aqua
